@@ -1,0 +1,177 @@
+// Benchmarks regenerating every table and figure of the SPIFFI paper's
+// evaluation, at the "bench" fidelity (full 16-disk system, shortened
+// videos and windows — see internal/experiments). Each benchmark
+// iteration regenerates the whole figure and reports its headline number
+// as a custom metric, so `go test -bench=. -benchmem` doubles as a
+// shape check of the reproduction.
+//
+// For paper-scale runs use: go run ./cmd/spiffi-bench -fidelity full
+package spiffi_test
+
+import (
+	"testing"
+
+	"spiffi"
+	"spiffi/internal/experiments"
+)
+
+// reportSeries attaches each series' final point as a benchmark metric.
+func reportSeries(b *testing.B, r experiments.Result) {
+	b.Helper()
+	for _, s := range r.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		b.ReportMetric(s.Points[len(s.Points)-1].Y, sanitize(r.ID+"/"+s.Name))
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case ' ', '(', ')', ',':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func runSingle(b *testing.B, fn func(experiments.Fidelity) (experiments.Result, error)) {
+	for i := 0; i < b.N; i++ {
+		r, err := fn(experiments.Bench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, r)
+		}
+	}
+}
+
+func BenchmarkFig08Zipf(b *testing.B) { runSingle(b, experiments.Fig08Zipf) }
+
+func BenchmarkFig09GlitchCurve(b *testing.B) { runSingle(b, experiments.Fig09GlitchCurve) }
+
+func BenchmarkFig10SchedStripe(b *testing.B) { runSingle(b, experiments.Fig10SchedStripe) }
+
+func BenchmarkFig11MemoryElevator(b *testing.B) { runSingle(b, experiments.Fig11MemoryElevator) }
+
+func BenchmarkFig12MemoryRealTime(b *testing.B) { runSingle(b, experiments.Fig12MemoryRealTime) }
+
+func BenchmarkFig13Striping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f13, f14, err := experiments.Fig13And14Striping(experiments.Bench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, f13)
+			_ = f14
+		}
+	}
+}
+
+func BenchmarkFig14DiskUtil(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, f14, err := experiments.Fig13And14Striping(experiments.Bench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, f14)
+		}
+	}
+}
+
+func BenchmarkFig15AccessFreq(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f15, _, err := experiments.Fig15And16AccessFrequencies(experiments.Bench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, f15)
+		}
+	}
+}
+
+func BenchmarkFig16Sharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, f16, err := experiments.Fig15And16AccessFrequencies(experiments.Bench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, f16)
+		}
+	}
+}
+
+func benchScaleup(b *testing.B, pick func(*experiments.ScaleupData) experiments.Result) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.RunScaleup(experiments.Bench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, pick(d))
+		}
+	}
+}
+
+func BenchmarkTable2Scaleup(b *testing.B) {
+	benchScaleup(b, func(d *experiments.ScaleupData) experiments.Result { return d.Table2() })
+}
+
+func BenchmarkFig17CPUUtil(b *testing.B) {
+	benchScaleup(b, func(d *experiments.ScaleupData) experiments.Result { return d.Fig17() })
+}
+
+func BenchmarkFig18NetBandwidth(b *testing.B) {
+	benchScaleup(b, func(d *experiments.ScaleupData) experiments.Result { return d.Fig18() })
+}
+
+func BenchmarkTable3DiskCost(b *testing.B) {
+	benchScaleup(b, func(d *experiments.ScaleupData) experiments.Result { return d.Table3() })
+}
+
+func BenchmarkFig19Pause(b *testing.B) { runSingle(b, experiments.Fig19Pause) }
+
+func BenchmarkPiggyback(b *testing.B) { runSingle(b, experiments.Piggyback) }
+
+// Ablations beyond the paper's published plots (see DESIGN.md).
+
+func BenchmarkAblationRTParams(b *testing.B) { runSingle(b, experiments.AblationRTParams) }
+
+func BenchmarkAblationPrefetch(b *testing.B) { runSingle(b, experiments.AblationPrefetch) }
+
+func BenchmarkAblationDiskCache(b *testing.B) { runSingle(b, experiments.AblationDiskCache) }
+
+func BenchmarkAblationSchedulerZoo(b *testing.B) { runSingle(b, experiments.AblationSchedulerZoo) }
+
+func BenchmarkAblationZonedDisks(b *testing.B) { runSingle(b, experiments.AblationZonedDisks) }
+
+func BenchmarkAdmissionBounds(b *testing.B) { runSingle(b, experiments.Admission) }
+
+func BenchmarkVCRSeek(b *testing.B) { runSingle(b, experiments.VCRSeek) }
+
+// BenchmarkSingleRun measures the simulator itself: one 200-terminal,
+// 16-disk run at bench fidelity, reporting simulation events/second.
+func BenchmarkSingleRun(b *testing.B) {
+	cfg := spiffi.DefaultConfig(200)
+	cfg.Video.Length = 6 * spiffi.Minute
+	cfg.MeasureTime = 45 * spiffi.Second
+	cfg.StartWindow = 20 * spiffi.Second
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		m, err := spiffi.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += m.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "sim-events/s")
+}

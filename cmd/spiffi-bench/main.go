@@ -1,0 +1,79 @@
+// Command spiffi-bench regenerates the SPIFFI paper's tables and
+// figures. Each experiment id corresponds to one published plot or
+// table (see DESIGN.md's per-experiment index).
+//
+//	spiffi-bench -exp fig10 -fidelity quick   # one experiment
+//	spiffi-bench -exp all -fidelity quick     # the whole evaluation
+//	spiffi-bench -list                        # available ids
+//
+// Fidelity levels: bench (seconds), quick (a minute or two per
+// experiment, the default), full (the paper's own scale; slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spiffi/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	fidelity := flag.String("fidelity", "quick", "bench|quick|full")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "text", "text|csv|json")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	f, ok := experiments.ByName(*fidelity)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "spiffi-bench: unknown fidelity %q\n", *fidelity)
+		os.Exit(2)
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		start := time.Now()
+		results, err := experiments.Run(id, f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spiffi-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			seen[r.ID] = true
+			switch *format {
+			case "csv":
+				fmt.Printf("# %s: %s\n", r.ID, r.Title)
+				if err := r.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "spiffi-bench:", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			case "json":
+				if err := r.WriteJSON(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "spiffi-bench:", err)
+					os.Exit(1)
+				}
+			default:
+				fmt.Println(r.Format())
+			}
+		}
+		if *format == "text" {
+			fmt.Printf("(%s fidelity, wall %v)\n\n", f.Name, time.Since(start).Round(time.Second))
+		}
+	}
+}

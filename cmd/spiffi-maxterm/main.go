@@ -1,0 +1,74 @@
+// Command spiffi-maxterm searches for the maximum number of terminals a
+// configuration supports with zero glitches — the paper's primary
+// performance metric (§7.1).
+//
+// Example — reproduce the base system's capacity:
+//
+//	spiffi-maxterm -step 5 -seeds 3
+//
+// The -confidence flag applies the paper's stopping rule (90% confident
+// the estimate is within 5%), adding replications until it holds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spiffi/internal/cli"
+	"spiffi/internal/core"
+)
+
+func main() {
+	fs := flag.NewFlagSet("spiffi-maxterm", flag.ExitOnError)
+	flags := cli.Register(fs)
+	step := fs.Int("step", 5, "search resolution in terminals")
+	lo := fs.Int("lo", 0, "search lower bound (0 = auto)")
+	hi := fs.Int("hi", 0, "search upper bound (0 = auto)")
+	seeds := fs.Int("seeds", 1, "replications per evaluated count")
+	confidence := fs.Bool("confidence", false, "apply the §7.1 stopping rule (90%/±5%)")
+	verbose := fs.Bool("v", false, "trace every evaluated run")
+	fs.Parse(os.Args[1:])
+
+	cfg, err := flags.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spiffi-maxterm:", err)
+		os.Exit(2)
+	}
+	opt := core.SearchOptions{Lo: *lo, Hi: *hi, Step: *step}
+	for s := 0; s < *seeds; s++ {
+		opt.Seeds = append(opt.Seeds, cfg.Seed+uint64(s)*101)
+	}
+	if *verbose {
+		opt.Trace = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	if *confidence {
+		iv, maxima, err := core.ConfidentMax(cfg, opt, 0.90, 0.05, 3, 10)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spiffi-maxterm:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("max terminals = %.0f ± %.1f (90%% confidence, seeds=%v)\n",
+			iv.Mean, iv.HalfWidth, maxima)
+		fmt.Printf("wall=%v\n", cli.FormatDuration(time.Since(start)))
+		return
+	}
+
+	res, err := core.FindMaxTerminals(cfg, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spiffi-maxterm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("max terminals = %d (step %d, %d runs, wall %v)\n",
+		res.MaxTerminals, *step, res.Runs, cli.FormatDuration(time.Since(start)))
+	if len(res.AtMax) > 0 {
+		m := res.AtMax[0]
+		fmt.Printf("at max: disk util avg %.1f%%, cpu util avg %.1f%%, peak net %.1f MB/s\n",
+			m.DiskUtilAvg*100, m.CPUUtilAvg*100, m.PeakNetBandwidth/1e6)
+	}
+}

@@ -1,0 +1,59 @@
+// Memory: a miniature of the paper's Figures 11 and 12 — how little
+// server memory can the video server run on? Compares global LRU against
+// the paper's love-prefetch page replacement (elevator scheduling), and
+// love prefetch with delayed prefetching under real-time scheduling.
+//
+// Expected shape: with love prefetch (and, under real-time scheduling,
+// delayed prefetching) the server keeps its capacity with far less
+// memory than global LRU needs — the paper's argument for buying disks,
+// not RAM.
+//
+//	go run ./examples/memory
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spiffi"
+)
+
+func search(cfg spiffi.Config) int {
+	cfg.Video.Length = 8 * spiffi.Minute
+	cfg.MeasureTime = 90 * spiffi.Second
+	cfg.StartWindow = 30 * spiffi.Second
+	res, err := spiffi.FindMaxTerminals(cfg, spiffi.SearchOptions{Step: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.MaxTerminals
+}
+
+func main() {
+	memories := []int64{128, 512, 2048}
+
+	fmt.Println("-- elevator scheduling (Figure 11) --")
+	fmt.Println("server MB   global-lru   love-prefetch")
+	for _, mb := range memories {
+		lru := spiffi.DefaultConfig(1)
+		lru.ServerMemBytes = mb * spiffi.MB
+		love := lru
+		love.Replacement = spiffi.ReplaceLovePrefetch
+		fmt.Printf("%-11d %-12d %d\n", mb, search(lru), search(love))
+	}
+
+	fmt.Println("\n-- real-time scheduling (Figure 12) --")
+	fmt.Println("server MB   love-prefetch   love+delayed(8s)")
+	for _, mb := range memories {
+		love := spiffi.DefaultConfig(1)
+		love.ServerMemBytes = mb * spiffi.MB
+		love.Sched = spiffi.RealTimeSched(3, 4*spiffi.Second)
+		love.Replacement = spiffi.ReplaceLovePrefetch
+		delayed := love
+		delayed.Prefetch = spiffi.PrefetchConfig{
+			Mode:       spiffi.PrefetchDelayed,
+			MaxAdvance: 8 * spiffi.Second,
+		}
+		fmt.Printf("%-11d %-15d %d\n", mb, search(love), search(delayed))
+	}
+}

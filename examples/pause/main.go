@@ -1,0 +1,43 @@
+// Pause: the paper's §8.1/Figure 19 result — letting every subscriber
+// pause each movie (on average twice, for minutes at a time) costs the
+// server essentially nothing, because a paused terminal simply stops
+// consuming and its buffer refills for free.
+//
+//	go run ./examples/pause
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spiffi"
+)
+
+func main() {
+	base := spiffi.DefaultConfig(1)
+	base.Replacement = spiffi.ReplaceLovePrefetch
+	base.ServerMemBytes = 512 * spiffi.MB
+	base.Video.Length = 8 * spiffi.Minute
+	base.MeasureTime = 90 * spiffi.Second
+	base.StartWindow = 30 * spiffi.Second
+
+	paused := base
+	paused.Pause = &spiffi.PauseConfig{
+		MeanPauses: 2,
+		// Scaled to the example's 8-minute videos the way the paper's
+		// 2-minute pauses relate to its 1-hour movies.
+		MeanDuration: 16 * spiffi.Second,
+	}
+
+	for _, c := range []struct {
+		name string
+		cfg  spiffi.Config
+	}{{"no pauses", base}, {"with pauses", paused}} {
+		res, err := spiffi.FindMaxTerminals(c.cfg, spiffi.SearchOptions{Step: 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s max glitch-free terminals = %d\n", c.name, res.MaxTerminals)
+	}
+	fmt.Println("\n(the two should be essentially equal — Figure 19)")
+}

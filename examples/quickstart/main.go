@@ -1,0 +1,51 @@
+// Quickstart: simulate the SPIFFI paper's base video-on-demand system —
+// 4 nodes, 16 disks, 64 videos, 512 KB stripes — at 200 terminals, and
+// print whether it delivered glitch-free video along with the headline
+// utilization numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spiffi"
+)
+
+func main() {
+	// The paper's §7 base configuration. Everything about the system —
+	// disks, CPUs, network, video encoding, algorithms — is in Config
+	// and can be overridden field by field.
+	cfg := spiffi.DefaultConfig(200)
+
+	// Shorten the run so the example finishes in about a second: ten
+	// minute videos, a two-minute measured window. (The defaults
+	// simulate one-hour movies like the paper.)
+	cfg.Video.Length = 10 * spiffi.Minute
+	cfg.MeasureTime = 2 * spiffi.Minute
+	cfg.StartWindow = 30 * spiffi.Second
+
+	m, err := spiffi.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("terminals:          %d\n", m.Terminals)
+	fmt.Printf("glitch-free:        %v (glitches=%d)\n", m.GlitchFree(), m.Glitches)
+	fmt.Printf("disk utilization:   %.1f%% avg, %.1f%% max\n", m.DiskUtilAvg*100, m.DiskUtilMax*100)
+	fmt.Printf("cpu utilization:    %.1f%% avg\n", m.CPUUtilAvg*100)
+	fmt.Printf("peak net bandwidth: %.1f MB/s\n", m.PeakNetBandwidth/1e6)
+	fmt.Printf("buffer hit rate:    %.1f%%\n", m.Pool.HitFraction()*100)
+	fmt.Printf("blocks served:      %d\n", m.BlocksServed)
+
+	// The paper's primary metric: how many terminals can this hardware
+	// support with zero glitches? (Coarse 20-terminal resolution keeps
+	// the example fast; spiffi-maxterm searches at 5.)
+	res, err := spiffi.FindMaxTerminals(cfg, spiffi.SearchOptions{Step: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmax glitch-free terminals: %d (found in %d runs)\n",
+		res.MaxTerminals, res.Runs)
+}

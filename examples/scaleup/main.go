@@ -1,0 +1,56 @@
+// Scaleup: a miniature of the paper's Table 2 — double the disks (and
+// videos and server memory) and see whether the supported terminal count
+// doubles too. The paper's key scalability claim is that the real-time
+// disk scheduler scales nearly linearly while elevator falls behind
+// unless terminals are given more memory.
+//
+//	go run ./examples/scaleup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spiffi"
+)
+
+func main() {
+	configs := []struct {
+		name  string
+		sched spiffi.SchedConfig
+		mem   int64 // base server memory, MB
+	}{
+		{"elevator / 128MB", spiffi.SchedConfig{Kind: spiffi.SchedElevator}, 128},
+		{"real-time / 512MB", spiffi.RealTimeSched(3, 4*spiffi.Second), 512},
+	}
+
+	fmt.Println("configuration        16 disks   32 disks   scaleup")
+	for _, c := range configs {
+		var maxes []int
+		for _, factor := range []int{1, 2} {
+			cfg := spiffi.DefaultConfig(1)
+			cfg.DisksPerNode = 4 * factor // 4 CPUs regardless of disks (§7.6)
+			cfg.ServerMemBytes = c.mem * int64(factor) * spiffi.MB
+			cfg.Sched = c.sched
+			cfg.Replacement = spiffi.ReplaceLovePrefetch
+			if c.sched.Kind == spiffi.SchedRealTime {
+				cfg.Prefetch = spiffi.PrefetchConfig{
+					Mode:       spiffi.PrefetchDelayed,
+					MaxAdvance: 8 * spiffi.Second,
+				}
+			}
+			cfg.Video.Length = 8 * spiffi.Minute
+			cfg.MeasureTime = 90 * spiffi.Second
+			cfg.StartWindow = 30 * spiffi.Second
+
+			res, err := spiffi.FindMaxTerminals(cfg, spiffi.SearchOptions{Step: 20})
+			if err != nil {
+				log.Fatal(err)
+			}
+			maxes = append(maxes, res.MaxTerminals)
+		}
+		scale := float64(maxes[1]) / (2 * float64(maxes[0]))
+		fmt.Printf("%-20s %-10d %-10d %.2f\n", c.name, maxes[0], maxes[1], scale)
+	}
+	fmt.Println("\n(scaleup = terminals at 2x disks / twice the base terminals; 1.00 is linear)")
+}

@@ -1,0 +1,48 @@
+// Scheduling: a miniature of the paper's Figure 10 — compare the five
+// disk scheduling algorithms (elevator, one-group GSS, round-robin, and
+// two real-time variants) by the maximum number of glitch-free terminals
+// each supports on the 16-disk base system.
+//
+// Expected shape (the paper's result): elevator and both real-time
+// variants are nearly identical and best; GSS(1) close behind;
+// round-robin clearly worst because it ignores seek distances.
+//
+//	go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spiffi"
+)
+
+func main() {
+	schedulers := []struct {
+		name string
+		cfg  spiffi.SchedConfig
+	}{
+		{"elevator", spiffi.SchedConfig{Kind: spiffi.SchedElevator}},
+		{"gss(1 group)", spiffi.GSSSched(1)},
+		{"round-robin", spiffi.SchedConfig{Kind: spiffi.SchedRoundRobin}},
+		{"real-time(2,4s)", spiffi.RealTimeSched(2, 4*spiffi.Second)},
+		{"real-time(3,4s)", spiffi.RealTimeSched(3, 4*spiffi.Second)},
+	}
+
+	fmt.Println("scheduler        max glitch-free terminals (16 disks, 512KB stripe)")
+	for _, s := range schedulers {
+		cfg := spiffi.DefaultConfig(1)
+		cfg.Sched = s.cfg
+		// Fast example settings; the full experiment is
+		// `spiffi-bench -exp fig10`.
+		cfg.Video.Length = 8 * spiffi.Minute
+		cfg.MeasureTime = 90 * spiffi.Second
+		cfg.StartWindow = 30 * spiffi.Second
+
+		res, err := spiffi.FindMaxTerminals(cfg, spiffi.SearchOptions{Step: 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %d\n", s.name, res.MaxTerminals)
+	}
+}

@@ -1,0 +1,3 @@
+module spiffi
+
+go 1.23

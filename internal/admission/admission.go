@@ -1,0 +1,113 @@
+// Package admission implements the analytical capacity bounds that §4 of
+// the SPIFFI paper contrasts its simulation methodology against, plus a
+// runtime admission controller.
+//
+// The paper argues that systems designed from worst-case analytical
+// studies ("maximum disk seeks and latencies") are provably glitch-free
+// but badly under-utilize the hardware, while simulation finds the true
+// sustainable load. WorstCaseTerminals computes exactly that pessimistic
+// bound; ExpectedCaseTerminals the analogous mean-value bound; the
+// experiment "admission" compares both against the simulated maximum.
+package admission
+
+import (
+	"spiffi/internal/disk"
+	"spiffi/internal/sim"
+)
+
+// Analysis captures the parameters an analytical designer would use.
+type Analysis struct {
+	Disk        disk.Params
+	Cylinders   int   // seek span used for worst/average seek distance
+	StripeBytes int64 // per-access transfer size
+	BitRate     int64 // stream rate, bits/second
+	TotalDisks  int
+}
+
+// StreamPeriod returns how long one stripe block sustains a stream.
+func (a Analysis) StreamPeriod() sim.Duration {
+	return sim.DurationOfSeconds(float64(a.StripeBytes) * 8 / float64(a.BitRate))
+}
+
+// WorstCaseAccess returns the worst-case single-access service time:
+// a full-span seek, a full rotation, and the transfer.
+func (a Analysis) WorstCaseAccess() sim.Duration {
+	return a.Disk.SeekTime(a.Cylinders) + a.Disk.RotationTime + a.Disk.TransferTime(a.StripeBytes)
+}
+
+// ExpectedAccess returns the mean-value access time: the classical
+// one-third-span average seek and half a rotation.
+func (a Analysis) ExpectedAccess() sim.Duration {
+	return a.Disk.SeekTime(a.Cylinders/3) + a.Disk.RotationTime/2 + a.Disk.TransferTime(a.StripeBytes)
+}
+
+// terminalsAt returns how many streams one disk sustains if every access
+// costs `access`, scaled to the whole server.
+func (a Analysis) terminalsAt(access sim.Duration) int {
+	if access <= 0 {
+		return 0
+	}
+	perDisk := int(float64(a.StreamPeriod()) / float64(access))
+	return perDisk * a.TotalDisks
+}
+
+// WorstCaseTerminals is the §4 "provably glitch-free" capacity: admit
+// only as many streams as survive if every access pays worst-case
+// positioning.
+func (a Analysis) WorstCaseTerminals() int { return a.terminalsAt(a.WorstCaseAccess()) }
+
+// ExpectedCaseTerminals is the mean-value analytical capacity — still
+// ignoring scheduling gains (elevator batching) and buffer-pool sharing.
+func (a Analysis) ExpectedCaseTerminals() int { return a.terminalsAt(a.ExpectedAccess()) }
+
+// Controller is a runtime admission controller: it caps concurrently
+// active streams at a fixed limit ("the risk of glitches can be made
+// arbitrarily low by limiting the maximum number of terminals", §4).
+// Terminals block in Admit until a slot frees.
+type Controller struct {
+	k       *sim.Kernel
+	limit   int
+	active  int
+	waiters []*sim.Proc
+
+	// Admitted and Rejected count outcomes; Rejected counts Admit calls
+	// that had to wait (a proxy for user-visible start latency).
+	Admitted int64
+	Waited   int64
+}
+
+// NewController creates a controller admitting at most `limit` streams.
+func NewController(k *sim.Kernel, limit int) *Controller {
+	if limit < 1 {
+		panic("admission: non-positive limit")
+	}
+	return &Controller{k: k, limit: limit}
+}
+
+// Admit blocks until a stream slot is free, then claims it.
+func (c *Controller) Admit(p *sim.Proc) {
+	if c.active >= c.limit {
+		c.Waited++
+		c.waiters = append(c.waiters, p)
+		p.Block()
+		// The releaser transferred its slot to us.
+	} else {
+		c.active++
+	}
+	c.Admitted++
+}
+
+// Release returns a stream slot, waking the oldest waiter.
+func (c *Controller) Release() {
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		copy(c.waiters, c.waiters[1:])
+		c.waiters = c.waiters[:len(c.waiters)-1]
+		c.k.Wake(w)
+		return
+	}
+	c.active--
+}
+
+// Active reports the number of admitted streams.
+func (c *Controller) Active() int { return c.active }

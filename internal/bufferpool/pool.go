@@ -1,0 +1,212 @@
+package bufferpool
+
+import (
+	"fmt"
+
+	"spiffi/internal/sim"
+)
+
+// Outcome reports how an Acquire was satisfied.
+type Outcome int
+
+// Acquire outcomes.
+const (
+	// Hit: the page is resident and valid.
+	Hit Outcome = iota
+	// InFlight: the page is resident but its fetch is still outstanding;
+	// wait on Page.Ready before using the data.
+	InFlight
+	// MustFetch: a frame was allocated and the caller owns the fetch; it
+	// must issue the disk read and call FetchComplete.
+	MustFetch
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case InFlight:
+		return "in-flight"
+	default:
+		return "must-fetch"
+	}
+}
+
+// Stats aggregates buffer pool counters over the measurement window.
+type Stats struct {
+	DemandRefs   int64 // demand (terminal) buffer references
+	DemandHits   int64 // satisfied without a new disk read (valid page)
+	InFlightHits int64 // satisfied by an already-outstanding fetch
+	Misses       int64 // demand references that had to fetch
+	SharedRefs   int64 // demand refs to a page previously referenced by another terminal (Fig 16)
+	PrefetchSkip int64 // prefetches dropped because the page was resident
+	Evictions    int64
+	AllocWaits   int64 // times an acquire blocked waiting for a frame
+}
+
+// SharedFraction returns SharedRefs/DemandRefs (Figure 16's metric).
+func (s Stats) SharedFraction() float64 {
+	if s.DemandRefs == 0 {
+		return 0
+	}
+	return float64(s.SharedRefs) / float64(s.DemandRefs)
+}
+
+// HitFraction returns the demand hit rate including in-flight hits.
+func (s Stats) HitFraction() float64 {
+	if s.DemandRefs == 0 {
+		return 0
+	}
+	return float64(s.DemandHits+s.InFlightHits) / float64(s.DemandRefs)
+}
+
+// Pool is one node's buffer pool.
+type Pool struct {
+	k        *sim.Kernel
+	capacity int
+	free     int
+	table    map[PageID]*Page
+	policy   Policy
+	waiters  []*sim.Proc
+	stats    Stats
+}
+
+// New creates a pool of `capacity` stripe-block frames.
+func New(k *sim.Kernel, capacity int, policy Policy) *Pool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("bufferpool: capacity %d", capacity))
+	}
+	return &Pool{
+		k:        k,
+		capacity: capacity,
+		free:     capacity,
+		table:    make(map[PageID]*Page, capacity),
+		policy:   policy,
+	}
+}
+
+// Capacity returns the frame count.
+func (b *Pool) Capacity() int { return b.capacity }
+
+// Resident returns the number of pages in the table.
+func (b *Pool) Resident() int { return len(b.table) }
+
+// Policy returns the replacement policy.
+func (b *Pool) Policy() Policy { return b.policy }
+
+// Contains reports whether the block is resident (valid or in flight).
+// Delayed prefetching uses it to skip redundant prefetches cheaply.
+func (b *Pool) Contains(id PageID) bool {
+	_, ok := b.table[id]
+	return ok
+}
+
+// Acquire is the single entry point for both demand requests
+// (prefetch=false, terminal = requesting terminal) and prefetches
+// (prefetch=true). The returned page is pinned; the caller must Unpin it
+// when done (for MustFetch, typically after FetchComplete and any reply).
+//
+// Acquire blocks while every frame is pinned or in flight, which is
+// exactly the paper's low-memory stall regime.
+func (b *Pool) Acquire(p *sim.Proc, id PageID, terminal int, prefetch bool) (*Page, Outcome) {
+	for {
+		if pg, ok := b.table[id]; ok {
+			return b.acquireResident(pg, terminal, prefetch)
+		}
+		if b.free > 0 {
+			b.free--
+			return b.insertNew(id, terminal, prefetch), MustFetch
+		}
+		if v := b.policy.Victim(); v != nil {
+			b.evict(v)
+			continue
+		}
+		b.stats.AllocWaits++
+		b.waiters = append(b.waiters, p)
+		p.Block()
+		// Re-check everything: the world changed while we slept.
+	}
+}
+
+func (b *Pool) acquireResident(pg *Page, terminal int, prefetch bool) (*Page, Outcome) {
+	if prefetch {
+		// The prefetcher found the block already resident: nothing to do.
+		b.stats.PrefetchSkip++
+		pg.pin++
+		if pg.state == stateValid {
+			return pg, Hit
+		}
+		return pg, InFlight
+	}
+	b.stats.DemandRefs++
+	if pg.referencedByOther(terminal) {
+		b.stats.SharedRefs++
+	}
+	pg.noteReference(terminal)
+	b.policy.OnReference(pg)
+	pg.pin++
+	if pg.state == stateValid {
+		b.stats.DemandHits++
+		return pg, Hit
+	}
+	b.stats.InFlightHits++
+	return pg, InFlight
+}
+
+func (b *Pool) insertNew(id PageID, terminal int, prefetch bool) *Page {
+	pg := &Page{
+		ID:    id,
+		state: stateFetching,
+		pin:   1,
+		Ready: sim.NewEvent(b.k),
+	}
+	if !prefetch {
+		b.stats.DemandRefs++
+		b.stats.Misses++
+		pg.noteReference(terminal)
+	}
+	b.table[id] = pg
+	b.policy.OnInsert(pg, prefetch)
+	return pg
+}
+
+func (b *Pool) evict(pg *Page) {
+	if !pg.evictable() {
+		panic("bufferpool: evicting unevictable page")
+	}
+	b.policy.OnEvict(pg)
+	delete(b.table, pg.ID)
+	b.free++
+	b.stats.Evictions++
+}
+
+// FetchComplete marks the page's data as arrived and wakes processes
+// waiting on Page.Ready. The caller still holds its pin.
+func (b *Pool) FetchComplete(pg *Page) {
+	if pg.state != stateFetching {
+		panic("bufferpool: FetchComplete on non-fetching page")
+	}
+	pg.state = stateValid
+	pg.Ready.Fire()
+}
+
+// Unpin releases one pin. When a page becomes evictable, one frame
+// waiter is woken to retry its allocation.
+func (b *Pool) Unpin(pg *Page) {
+	if pg.pin <= 0 {
+		panic("bufferpool: unpin of unpinned page")
+	}
+	pg.pin--
+	if pg.evictable() && len(b.waiters) > 0 {
+		w := b.waiters[0]
+		copy(b.waiters, b.waiters[1:])
+		b.waiters = b.waiters[:len(b.waiters)-1]
+		b.k.Wake(w)
+	}
+}
+
+// Stats returns a copy of the window counters.
+func (b *Pool) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the window counters (to discard warm-up).
+func (b *Pool) ResetStats() { b.stats = Stats{} }

@@ -1,0 +1,160 @@
+// Package cli provides the shared flag surface of the spiffi command
+// line tools, mapping flags onto a core.Config.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"spiffi/internal/bufferpool"
+	"spiffi/internal/core"
+	"spiffi/internal/dsched"
+	"spiffi/internal/prefetch"
+	"spiffi/internal/sim"
+	"spiffi/internal/terminal"
+)
+
+// Flags holds the parsed common flags.
+type Flags struct {
+	Terminals  *int
+	Nodes      *int
+	Disks      *int // per node
+	Videos     *int // per disk
+	StripeKB   *int64
+	ServerMB   *int64
+	TerminalKB *int64
+	Zipf       *float64
+	Sched      *string
+	Classes    *int
+	SpacingS   *float64
+	Groups     *int
+	Replace    *string
+	Prefetch   *string
+	MaxAdvS    *float64
+	Striped    *bool
+	VideoMin   *float64
+	MeasureS   *float64
+	StartS     *float64
+	Seed       *uint64
+	Pause      *bool
+	PiggyS     *float64
+	VCRSeeks   *float64
+	VCRSkim    *bool
+}
+
+// Register installs the common flags on fs.
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		Terminals:  fs.Int("terminals", 200, "number of video terminals"),
+		Nodes:      fs.Int("nodes", 4, "server nodes (CPUs)"),
+		Disks:      fs.Int("disks", 4, "disks per node"),
+		Videos:     fs.Int("videos", 4, "videos per disk"),
+		StripeKB:   fs.Int64("stripe", 512, "stripe size in KB"),
+		ServerMB:   fs.Int64("servermem", 4096, "aggregate server memory in MB"),
+		TerminalKB: fs.Int64("termmem", 2048, "terminal memory in KB"),
+		Zipf:       fs.Float64("zipf", 1.0, "video access skew z (0 = uniform)"),
+		Sched:      fs.String("sched", "elevator", "disk scheduler: elevator|fcfs|round-robin|gss|real-time"),
+		Classes:    fs.Int("classes", 3, "real-time priority classes"),
+		SpacingS:   fs.Float64("spacing", 4, "real-time priority spacing (seconds)"),
+		Groups:     fs.Int("groups", 1, "GSS groups"),
+		Replace:    fs.String("replace", "global-lru", "page replacement: global-lru|love-prefetch"),
+		Prefetch:   fs.String("prefetch", "", "prefetching: off|basic|real-time|delayed (default: per scheduler)"),
+		MaxAdvS:    fs.Float64("maxadvance", 8, "delayed prefetching max advance (seconds)"),
+		Striped:    fs.Bool("striped", true, "stripe videos across all disks"),
+		VideoMin:   fs.Float64("videolen", 60, "video length in minutes"),
+		MeasureS:   fs.Float64("measure", 600, "measured window (simulated seconds)"),
+		StartS:     fs.Float64("startwindow", 60, "terminal start stagger window (seconds)"),
+		Seed:       fs.Uint64("seed", 1, "simulation seed"),
+		Pause:      fs.Bool("pause", false, "terminals pause twice per movie for ~2 minutes"),
+		PiggyS:     fs.Float64("piggyback", 0, "piggyback start delay in seconds (0 = off)"),
+		VCRSeeks:   fs.Float64("vcr", 0, "mean rewind/fast-forward seeks per movie (0 = off)"),
+		VCRSkim:    fs.Bool("vcrskim", false, "seeks use the visual-search skim scheme"),
+	}
+}
+
+// Config materializes a core.Config from the parsed flags.
+func (f *Flags) Config() (core.Config, error) {
+	cfg := core.DefaultConfig(*f.Terminals)
+	cfg.Seed = *f.Seed
+	cfg.Nodes = *f.Nodes
+	cfg.DisksPerNode = *f.Disks
+	cfg.VideosPerDisk = *f.Videos
+	cfg.StripeBytes = *f.StripeKB * core.KB
+	cfg.ServerMemBytes = *f.ServerMB * core.MB
+	cfg.TerminalMemBytes = *f.TerminalKB * core.KB
+	cfg.ZipfZ = *f.Zipf
+	cfg.Striped = *f.Striped
+	cfg.Video.Length = sim.DurationOfSeconds(*f.VideoMin * 60)
+	cfg.MeasureTime = sim.DurationOfSeconds(*f.MeasureS)
+	cfg.StartWindow = sim.DurationOfSeconds(*f.StartS)
+
+	switch *f.Sched {
+	case "elevator":
+		cfg.Sched = dsched.Config{Kind: dsched.KindElevator}
+	case "fcfs":
+		cfg.Sched = dsched.Config{Kind: dsched.KindFCFS}
+	case "round-robin":
+		cfg.Sched = dsched.Config{Kind: dsched.KindRoundRobin}
+	case "gss":
+		cfg.Sched = dsched.Config{Kind: dsched.KindGSS, Groups: *f.Groups}
+	case "real-time":
+		cfg.Sched = dsched.Config{
+			Kind:    dsched.KindRealTime,
+			Classes: *f.Classes,
+			Spacing: sim.DurationOfSeconds(*f.SpacingS),
+		}
+	default:
+		return cfg, fmt.Errorf("unknown scheduler %q", *f.Sched)
+	}
+
+	switch *f.Replace {
+	case "global-lru":
+		cfg.Replacement = bufferpool.PolicyGlobalLRU
+	case "love-prefetch":
+		cfg.Replacement = bufferpool.PolicyLovePrefetch
+	default:
+		return cfg, fmt.Errorf("unknown replacement policy %q", *f.Replace)
+	}
+
+	switch *f.Prefetch {
+	case "":
+		// Per-scheduler default via Normalize.
+	case "off":
+		cfg.Prefetch = prefetch.Config{Mode: prefetch.ModeOff}
+	case "basic":
+		cfg.Prefetch = prefetch.Config{Mode: prefetch.ModeBasic}
+	case "real-time":
+		cfg.Prefetch = prefetch.Config{Mode: prefetch.ModeRealTime}
+	case "delayed":
+		cfg.Prefetch = prefetch.Config{
+			Mode:       prefetch.ModeDelayed,
+			MaxAdvance: sim.DurationOfSeconds(*f.MaxAdvS),
+		}
+	default:
+		return cfg, fmt.Errorf("unknown prefetch mode %q", *f.Prefetch)
+	}
+
+	if *f.Pause {
+		cfg.Pause = &terminal.PauseConfig{MeanPauses: 2, MeanDuration: 2 * sim.Minute}
+	}
+	if *f.PiggyS > 0 {
+		cfg.PiggybackDelay = sim.DurationOfSeconds(*f.PiggyS)
+	}
+	if *f.VCRSeeks > 0 {
+		cfg.VCR = &terminal.VCRConfig{
+			MeanSeeksPerMovie: *f.VCRSeeks,
+			MeanDistanceFrac:  0.25,
+			ForwardProb:       0.5,
+		}
+		if *f.VCRSkim {
+			cfg.VCR.Skim = true
+			cfg.VCR.SkimStrideBlocks = 8
+			cfg.VCR.SkimSegmentFrames = 30
+		}
+	}
+	return cfg, nil
+}
+
+// FormatDuration renders a wall-clock duration compactly.
+func FormatDuration(d time.Duration) string { return d.Round(time.Millisecond).String() }

@@ -1,0 +1,209 @@
+// Package core assembles the full SPIFFI video-on-demand simulation: the
+// video library, striped (or non-striped) placement, server nodes with
+// buffer pools, disks and prefetch workers, the network, and the video
+// terminals. It runs the paper's methodology (§6, §7.1): terminals start
+// at random intervals, measurement begins once every terminal is actively
+// viewing, runs for a fixed simulated time, and the headline metric is
+// the maximum number of terminals supported with zero glitches.
+package core
+
+import (
+	"fmt"
+
+	"spiffi/internal/bufferpool"
+	"spiffi/internal/cpu"
+	"spiffi/internal/disk"
+	"spiffi/internal/dsched"
+	"spiffi/internal/mpeg"
+	"spiffi/internal/network"
+	"spiffi/internal/prefetch"
+	"spiffi/internal/sim"
+	"spiffi/internal/terminal"
+)
+
+// KB and MB are byte-size helpers used throughout configurations.
+const (
+	KB int64 = 1024
+	MB int64 = 1024 * 1024
+	GB int64 = 1024 * 1024 * 1024
+)
+
+// Config is a complete simulation configuration. DefaultConfig returns
+// the paper's base system (§7: 4 processors, 16 disks, 64 videos, 4 GB of
+// server memory, 512 KB stripes, 2 MB terminals, Zipf z=1, elevator disk
+// scheduling, global LRU replacement).
+type Config struct {
+	Seed        uint64 // run seed (replication variable)
+	LibrarySeed uint64 // video-content seed, fixed across a sweep
+
+	Nodes         int
+	DisksPerNode  int
+	VideosPerDisk int
+
+	MIPS       float64
+	CPUCosts   cpu.Costs
+	DiskParams disk.Params
+	// ZonedDisks switches the drives to zoned-bit-recording geometry
+	// (8 zones, 1.3/0.7 outer/inner spread) instead of the paper's
+	// constant-cylinder simplification.
+	ZonedDisks bool
+	NetParams  network.Params
+	Video      mpeg.Params
+
+	StripeBytes int64
+	Striped     bool
+
+	ServerMemBytes   int64 // aggregate across nodes
+	TerminalMemBytes int64
+
+	Terminals int
+	ZipfZ     float64 // 0 selects the uniform distribution
+
+	Sched       dsched.Config
+	Replacement bufferpool.PolicyKind
+	Prefetch    prefetch.Config // zero WorkersPerDisk picks a per-scheduler default
+
+	Pause          *terminal.PauseConfig
+	VCR            *terminal.VCRConfig // §8.1 rewind/fast-forward workload
+	PiggybackDelay sim.Duration        // >0 enables §8.2 piggybacking
+
+	// RandomInitialPosition starts every terminal's first movie at a
+	// uniformly random position, putting the snapshot directly in the
+	// steady state the paper measures (§6: "the results represent a
+	// snapshot of the system's performance with all the terminals
+	// active"). Defaults to true in DefaultConfig.
+	RandomInitialPosition bool
+
+	// StartWindow staggers terminal start times uniformly over [0, w).
+	StartWindow sim.Duration
+	// MeasureTime is the measured simulated duration after warm-up.
+	MeasureTime sim.Duration
+	// StartupGrace bounds how long after StartWindow the simulator waits
+	// for every terminal to begin display before declaring the
+	// configuration overloaded.
+	StartupGrace sim.Duration
+}
+
+// DefaultConfig returns the paper's base configuration at a given
+// terminal count.
+func DefaultConfig(terminals int) Config {
+	return Config{
+		Seed:                  1,
+		LibrarySeed:           1,
+		Nodes:                 4,
+		DisksPerNode:          4,
+		VideosPerDisk:         4,
+		MIPS:                  40,
+		CPUCosts:              cpu.DefaultCosts(),
+		DiskParams:            disk.DefaultParams(),
+		NetParams:             network.DefaultParams(),
+		Video:                 mpeg.DefaultParams(),
+		StripeBytes:           512 * KB,
+		Striped:               true,
+		ServerMemBytes:        4 * GB,
+		TerminalMemBytes:      2 * MB,
+		Terminals:             terminals,
+		ZipfZ:                 1.0,
+		Sched:                 dsched.Config{Kind: dsched.KindElevator},
+		Replacement:           bufferpool.PolicyGlobalLRU,
+		Prefetch:              prefetch.Config{Mode: prefetch.ModeBasic},
+		RandomInitialPosition: true,
+		StartWindow:           60 * sim.Second,
+		MeasureTime:           10 * sim.Minute,
+		StartupGrace:          10 * sim.Minute,
+	}
+}
+
+// TotalDisks returns Nodes*DisksPerNode.
+func (c Config) TotalDisks() int { return c.Nodes * c.DisksPerNode }
+
+// NumVideos returns the library size.
+func (c Config) NumVideos() int { return c.VideosPerDisk * c.TotalDisks() }
+
+// PoolPagesPerNode returns each node's buffer-pool frame count.
+func (c Config) PoolPagesPerNode() int {
+	return int(c.ServerMemBytes / int64(c.Nodes) / c.StripeBytes)
+}
+
+// StripePlayTime returns how long one full stripe block plays at the
+// configured bit rate (the prefetch deadline-estimation unit).
+func (c Config) StripePlayTime() sim.Duration {
+	return sim.DurationOfSeconds(float64(c.StripeBytes) * 8 / float64(c.Video.BitRate))
+}
+
+// Normalize fills derived defaults: the prefetch strategy and worker
+// count are chosen to suit the disk scheduler, as the paper does
+// ("the prefetching mechanism was configured to maximize the performance
+// of the disk scheduling algorithm in use", §5.2.3).
+func (c Config) Normalize() Config {
+	if c.Prefetch.Mode == "" {
+		c.Prefetch.Mode = prefetch.ModeBasic
+	}
+	if c.Prefetch.Mode != prefetch.ModeOff {
+		if c.Sched.IsRealTime() {
+			// Real-time scheduling benefits from aggressive, deadline-
+			// aware prefetching; it can always skip lazy prefetches.
+			if c.Prefetch.Mode == prefetch.ModeBasic {
+				c.Prefetch.Mode = prefetch.ModeRealTime
+			}
+			if c.Prefetch.WorkersPerDisk == 0 {
+				c.Prefetch.WorkersPerDisk = 4
+			}
+		} else {
+			// Non-real-time schedulers cannot tell prefetches from
+			// urgent demand reads, so prefetching is kept timid.
+			if c.Prefetch.WorkersPerDisk == 0 {
+				c.Prefetch.WorkersPerDisk = 1
+			}
+		}
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 1 || c.DisksPerNode < 1 {
+		return fmt.Errorf("core: need nodes >= 1 and disks >= 1")
+	}
+	if c.VideosPerDisk < 1 {
+		return fmt.Errorf("core: need at least one video per disk")
+	}
+	if c.StripeBytes < 1 {
+		return fmt.Errorf("core: non-positive stripe size")
+	}
+	if c.TerminalMemBytes < c.StripeBytes {
+		return fmt.Errorf("core: terminal memory %d below one stripe block %d",
+			c.TerminalMemBytes, c.StripeBytes)
+	}
+	if c.PoolPagesPerNode() < 1 {
+		return fmt.Errorf("core: server memory %d gives an empty buffer pool", c.ServerMemBytes)
+	}
+	if c.Terminals < 1 {
+		return fmt.Errorf("core: need at least one terminal")
+	}
+	if c.ZipfZ < 0 {
+		return fmt.Errorf("core: negative zipf skew")
+	}
+	if c.MeasureTime <= 0 {
+		return fmt.Errorf("core: non-positive measure time")
+	}
+	if err := c.Sched.Validate(); err != nil {
+		return err
+	}
+	if c.Prefetch.Mode == prefetch.ModeDelayed && c.Prefetch.MaxAdvance <= 0 {
+		return fmt.Errorf("core: delayed prefetching needs MaxAdvance > 0")
+	}
+	if (c.Prefetch.Mode == prefetch.ModeDelayed || c.Prefetch.Mode == prefetch.ModeRealTime) && !c.Sched.IsRealTime() {
+		return fmt.Errorf("core: %s prefetching requires the real-time disk scheduler", c.Prefetch.Mode)
+	}
+	if v := c.VCR; v != nil {
+		if v.MeanSeeksPerMovie < 0 || v.MeanDistanceFrac <= 0 ||
+			v.ForwardProb < 0 || v.ForwardProb > 1 {
+			return fmt.Errorf("core: invalid VCR config %+v", *v)
+		}
+		if v.Skim && (v.SkimStrideBlocks < 1 || v.SkimSegmentFrames < 1) {
+			return fmt.Errorf("core: skim needs positive stride and segment length")
+		}
+	}
+	return nil
+}

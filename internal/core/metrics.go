@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"spiffi/internal/bufferpool"
+	"spiffi/internal/server"
+	"spiffi/internal/sim"
+)
+
+// Metrics is the result of one simulation run, measured over the window
+// that begins when every terminal is actively viewing (§6).
+type Metrics struct {
+	Terminals int
+
+	// Started reports whether measurement began; false means the
+	// configuration was so overloaded that terminals never all primed
+	// within the startup grace period (treated as failing).
+	Started      bool
+	MeasureStart sim.Time
+	MeasureEnd   sim.Time
+
+	Glitches        int64 // total glitches in the window (the paper's pass/fail signal)
+	GlitchTerminals int   // terminals that glitched at least once
+
+	DiskUtilAvg float64
+	DiskUtilMin float64
+	DiskUtilMax float64
+	CPUUtilAvg  float64
+	CPUUtilMax  float64
+
+	// PeakNetBandwidth is Figure 18's metric, bytes/second.
+	PeakNetBandwidth float64
+	NetTotalBytes    float64
+
+	Pool  bufferpool.Stats // aggregated over nodes
+	Nodes server.Stats     // aggregated over nodes
+
+	BlocksServed    int64
+	MoviesCompleted int64
+	RespTimeAvg     sim.Duration
+	RespTimeMax     sim.Duration
+	RespTimeP50     sim.Duration // histogram upper-edge estimate
+	RespTimeP99     sim.Duration // histogram upper-edge estimate
+	respBlocks      int64        // weight of RespTimeAvg during accumulation
+
+	// Interactive-operation aggregates (§8.1 workloads).
+	Seeks          int64
+	SkimBlocks     int64
+	StaleDrops     int64
+	SeekRePrimeAvg sim.Duration
+	SeekRePrimeMax sim.Duration
+
+	Events uint64 // kernel events dispatched (simulator cost)
+}
+
+// GlitchFree reports the paper's pass criterion.
+func (m Metrics) GlitchFree() bool { return m.Started && m.Glitches == 0 }
+
+// String renders a compact human-readable report.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "terminals=%d started=%v glitches=%d (terminals=%d)\n",
+		m.Terminals, m.Started, m.Glitches, m.GlitchTerminals)
+	fmt.Fprintf(&b, "disk util avg/min/max = %.1f%%/%.1f%%/%.1f%%  cpu util avg/max = %.1f%%/%.1f%%\n",
+		m.DiskUtilAvg*100, m.DiskUtilMin*100, m.DiskUtilMax*100,
+		m.CPUUtilAvg*100, m.CPUUtilMax*100)
+	fmt.Fprintf(&b, "net peak = %.1f MB/s  pool hits = %.1f%%  shared refs = %.2f%%\n",
+		m.PeakNetBandwidth/1e6, m.Pool.HitFraction()*100, m.Pool.SharedFraction()*100)
+	fmt.Fprintf(&b, "blocks=%d movies=%d resp avg/max = %v/%v\n",
+		m.BlocksServed, m.MoviesCompleted, m.RespTimeAvg, m.RespTimeMax)
+	return b.String()
+}

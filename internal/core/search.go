@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"spiffi/internal/stats"
+)
+
+// SearchOptions controls the max-terminals search (§7.1: "increase the
+// number of terminals until the number of glitches becomes non-zero").
+type SearchOptions struct {
+	// Lo and Hi bracket the search; Hi is a hard cap. Zero values pick
+	// defaults scaled to the configuration's disk count.
+	Lo, Hi int
+	// Step is the search resolution in terminals (the paper quotes its
+	// answers at ~5-terminal precision).
+	Step int
+	// Seeds are the replication seeds; a terminal count passes only if
+	// every seed's run is glitch-free.
+	Seeds []uint64
+	// Trace, if non-nil, receives one line per evaluated run.
+	Trace func(format string, args ...any)
+}
+
+// withDefaults fills unset options. The default bracket assumes roughly
+// 5-20 terminals per disk, which safely covers every paper configuration.
+func (o SearchOptions) withDefaults(cfg Config) SearchOptions {
+	if o.Step <= 0 {
+		o.Step = 5
+	}
+	if o.Lo <= 0 {
+		o.Lo = o.Step
+	}
+	if o.Hi <= 0 {
+		o.Hi = 40 * cfg.TotalDisks()
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{cfg.Seed}
+	}
+	o.Lo = o.Lo / o.Step * o.Step
+	if o.Lo < o.Step {
+		o.Lo = o.Step
+	}
+	return o
+}
+
+// SearchResult reports a search outcome.
+type SearchResult struct {
+	// MaxTerminals is the largest evaluated count with zero glitches in
+	// every replication — the paper's headline metric.
+	MaxTerminals int
+	// Runs counts simulation executions performed.
+	Runs int
+	// AtMax holds the metrics of the passing runs at MaxTerminals, one
+	// per seed (utilization figures for the scaleup experiments).
+	AtMax []Metrics
+}
+
+// FindMaxTerminals binary-searches the largest glitch-free terminal
+// count on the Step lattice.
+func FindMaxTerminals(cfg Config, opt SearchOptions) (SearchResult, error) {
+	opt = opt.withDefaults(cfg)
+	res := SearchResult{}
+	cache := map[int][]Metrics{} // passing runs by count; nil entry = fail
+
+	eval := func(terminals int) (bool, error) {
+		if ms, ok := cache[terminals]; ok {
+			return ms != nil, nil
+		}
+		var ms []Metrics
+		for _, seed := range opt.Seeds {
+			c := cfg
+			c.Seed = seed
+			c.Terminals = terminals
+			m, err := Run(c)
+			if err != nil {
+				return false, fmt.Errorf("run(terminals=%d seed=%d): %w", terminals, seed, err)
+			}
+			res.Runs++
+			if opt.Trace != nil {
+				opt.Trace("  eval terminals=%d seed=%d glitches=%d started=%v",
+					terminals, seed, m.Glitches, m.Started)
+			}
+			if !m.GlitchFree() {
+				cache[terminals] = nil
+				return false, nil
+			}
+			ms = append(ms, m)
+		}
+		cache[terminals] = ms
+		return true, nil
+	}
+
+	// Establish a failing upper bound and a passing lower bound.
+	lo, hi := opt.Lo, opt.Hi/opt.Step*opt.Step
+	okLo, err := eval(lo)
+	if err != nil {
+		return res, err
+	}
+	if !okLo {
+		// Even the lower bound glitches: scan down to the floor.
+		for lo > opt.Step {
+			lo -= opt.Step
+			ok, err := eval(lo)
+			if err != nil {
+				return res, err
+			}
+			if ok {
+				break
+			}
+		}
+		if cache[lo] == nil {
+			res.MaxTerminals = 0
+			return res, nil
+		}
+		hi = lo + opt.Step
+	} else {
+		// Grow exponentially until failure or cap.
+		cur := lo
+		for {
+			next := cur * 2
+			if next > hi {
+				next = hi
+			}
+			if next == cur {
+				// Passed at the cap.
+				res.MaxTerminals = cur
+				res.AtMax = cache[cur]
+				return res, nil
+			}
+			ok, err := eval(next)
+			if err != nil {
+				return res, err
+			}
+			if !ok {
+				lo, hi = cur, next
+				break
+			}
+			cur = next
+			if cur >= hi {
+				res.MaxTerminals = cur
+				res.AtMax = cache[cur]
+				return res, nil
+			}
+		}
+	}
+
+	// Bisect (lo passes, hi fails) on the Step lattice.
+	for hi-lo > opt.Step {
+		mid := (lo + hi) / 2 / opt.Step * opt.Step
+		if mid <= lo || mid >= hi {
+			break
+		}
+		ok, err := eval(mid)
+		if err != nil {
+			return res, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res.MaxTerminals = lo
+	res.AtMax = cache[lo]
+	return res, nil
+}
+
+// GlitchCurve evaluates glitch counts over a set of terminal counts —
+// the raw data behind the paper's Figure 9.
+func GlitchCurve(cfg Config, counts []int) (map[int]int64, error) {
+	out := make(map[int]int64, len(counts))
+	for _, t := range counts {
+		c := cfg
+		c.Terminals = t
+		m, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		g := m.Glitches
+		if !m.Started {
+			g = -1
+		}
+		out[t] = g
+	}
+	return out, nil
+}
+
+// ConfidentMax applies the paper's §7.1 stopping rule: independent
+// per-seed searches are added until the Student-t interval of the
+// per-seed maxima is within relWidth of the mean at the given confidence
+// level (paper: 0.90 level, 0.05 relative width), or maxSeeds is
+// reached. It returns the mean estimate, the interval, and all per-seed
+// maxima.
+func ConfidentMax(cfg Config, opt SearchOptions, level, relWidth float64, minSeeds, maxSeeds int) (stats.Interval, []int, error) {
+	if minSeeds < 2 {
+		minSeeds = 2
+	}
+	var maxima []float64
+	var raw []int
+	for s := 0; s < maxSeeds; s++ {
+		o := opt
+		o.Seeds = []uint64{cfg.Seed + uint64(s)*7919}
+		r, err := FindMaxTerminals(cfg, o)
+		if err != nil {
+			return stats.Interval{}, nil, err
+		}
+		maxima = append(maxima, float64(r.MaxTerminals))
+		raw = append(raw, r.MaxTerminals)
+		if len(maxima) >= minSeeds {
+			iv := stats.ConfidenceInterval(maxima, level)
+			if iv.WithinRelative(relWidth) {
+				sort.Ints(raw)
+				return iv, raw, nil
+			}
+		}
+	}
+	iv := stats.ConfidenceInterval(maxima, level)
+	sort.Ints(raw)
+	return iv, raw, nil
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"spiffi/internal/disk"
+	"spiffi/internal/layout"
+	"spiffi/internal/mpeg"
+	"spiffi/internal/network"
+	"spiffi/internal/proto"
+	"spiffi/internal/rng"
+	"spiffi/internal/server"
+	"spiffi/internal/sim"
+	"spiffi/internal/stats"
+	"spiffi/internal/terminal"
+)
+
+// Simulation is one assembled run of the SPIFFI system.
+type Simulation struct {
+	cfg   Config
+	k     *sim.Kernel
+	lib   *mpeg.Library
+	place *layout.Placement
+	net   *network.Network
+	nodes []*server.Node
+	terms []*terminal.Terminal
+	piggy *piggyCoordinator
+
+	startedCount int
+	measuring    bool
+	measureStart sim.Time
+
+	// respHist observes every measured block round trip, at millisecond
+	// base resolution over 20 power-of-two buckets (1 ms .. ~17 minutes).
+	respHist *stats.Histogram
+}
+
+// NewSimulation validates, normalizes and assembles a simulation.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:      cfg,
+		k:        sim.NewKernel(),
+		respHist: stats.NewHistogram(0.001, 20),
+	}
+	root := rng.New(cfg.Seed)
+
+	// Video library: content depends only on LibrarySeed, so every run
+	// of a sweep replays the identical catalog (§6.1) and the generated
+	// frame tables are shared process-wide.
+	s.lib = mpeg.SharedLibrary(cfg.Video, cfg.NumVideos(), cfg.LibrarySeed)
+	sizes := make([]int64, cfg.NumVideos())
+	for i := range sizes {
+		sizes[i] = s.lib.Get(i).TotalBytes()
+	}
+	if cfg.Striped {
+		s.place = layout.NewStriped(sizes, cfg.StripeBytes, cfg.Nodes, cfg.DisksPerNode)
+	} else {
+		s.place = layout.NewNonStriped(sizes, cfg.StripeBytes, cfg.Nodes, cfg.DisksPerNode,
+			root.Derive("placement"))
+	}
+
+	s.net = network.New(s.k, cfg.NetParams)
+
+	nodeCfg := server.Config{
+		PoolPages:   cfg.PoolPagesPerNode(),
+		Replacement: cfg.Replacement,
+		Sched:       cfg.Sched,
+		Prefetch:    cfg.Prefetch,
+		MIPS:        cfg.MIPS,
+		CPUCosts:    cfg.CPUCosts,
+		DiskParams:  cfg.DiskParams,
+	}
+	if cfg.ZonedDisks {
+		zp := disk.DefaultZonedParams()
+		zp.Params = cfg.DiskParams
+		nodeCfg.ZonedDisks = &zp
+	}
+	s.nodes = make([]*server.Node, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		srcs := make([]*rng.Source, cfg.DisksPerNode)
+		for d := range srcs {
+			srcs[d] = root.DeriveIndexed("disk", n*cfg.DisksPerNode+d)
+		}
+		s.nodes[n] = server.New(s.k, n, nodeCfg, s.net, s.place, srcs, cfg.StripePlayTime())
+	}
+
+	if cfg.PiggybackDelay > 0 {
+		s.piggy = newPiggyCoordinator(s.k, cfg.PiggybackDelay)
+	}
+
+	zipf := rng.NewZipf(cfg.NumVideos(), cfg.ZipfZ)
+	instr := func(n int64) sim.Duration {
+		return sim.DurationOfSeconds(float64(n) / (cfg.MIPS * 1e6))
+	}
+	tcfg := terminal.Config{
+		MemBytes:              cfg.TerminalMemBytes,
+		SendLatency:           instr(cfg.CPUCosts.Send),
+		RecvLatency:           instr(cfg.CPUCosts.Receive),
+		Pause:                 cfg.Pause,
+		VCR:                   cfg.VCR,
+		RandomInitialPosition: cfg.RandomInitialPosition,
+		OnRespTime: func(d sim.Duration) {
+			if s.measuring {
+				s.respHist.Add(d.Seconds())
+			}
+		},
+	}
+	if s.piggy != nil {
+		tcfg.Gate = s.piggy
+	}
+	startSrc := root.Derive("starts")
+	s.terms = make([]*terminal.Terminal, cfg.Terminals)
+	for i := 0; i < cfg.Terminals; i++ {
+		tsrc := root.DeriveIndexed("terminal", i)
+		t := terminal.New(
+			s.k, i, tcfg, s.lib, s.place, tsrc,
+			s.sendRequest,
+			func() int { return zipf.Draw(tsrc) },
+			func() bool { return s.measuring },
+			s.onTerminalStarted,
+		)
+		s.terms[i] = t
+		t.Start(sim.Duration(startSrc.Float64() * float64(cfg.StartWindow)))
+	}
+	return s, nil
+}
+
+// sendRequest routes a terminal's block request over the network to the
+// owning node.
+func (s *Simulation) sendRequest(node int, req *proto.BlockRequest) {
+	n := s.nodes[node]
+	s.net.Send(proto.RequestHeaderBytes, func() { n.DeliverRequest(req) })
+}
+
+// onTerminalStarted is invoked (in simulation context) the first time
+// each terminal begins display; once all have, the measurement window
+// opens: statistics reset, glitch counting begins (§6).
+func (s *Simulation) onTerminalStarted() {
+	s.startedCount++
+	if s.startedCount < s.cfg.Terminals {
+		return
+	}
+	s.measuring = true
+	s.measureStart = s.k.Now()
+	s.net.ResetStats()
+	for _, n := range s.nodes {
+		n.ResetStats()
+	}
+	for _, t := range s.terms {
+		t.ResetWindowStats()
+	}
+}
+
+// Run executes the simulation and collects metrics. The kernel is closed
+// before returning; a Simulation runs once.
+func (s *Simulation) Run() (Metrics, error) {
+	defer s.k.Close()
+	m := Metrics{Terminals: s.cfg.Terminals}
+
+	// Phase 1: wait (in chunks) for every terminal to begin viewing.
+	startDeadline := sim.Time(0).Add(s.cfg.StartWindow).Add(s.cfg.StartupGrace)
+	for !s.measuring && s.k.Now() < startDeadline {
+		if err := s.k.Run(s.k.Now().Add(sim.Second)); err != nil {
+			return m, err
+		}
+	}
+	if !s.measuring {
+		// Startup never completed: hopeless overload. Report a failing,
+		// unstarted run rather than simulating forever.
+		m.Started = false
+		m.Glitches = -1
+		return m, nil
+	}
+
+	// Phase 2: the measured window.
+	end := s.measureStart.Add(s.cfg.MeasureTime)
+	if err := s.k.Run(end); err != nil {
+		return m, err
+	}
+
+	m.Started = true
+	m.MeasureStart = s.measureStart
+	m.MeasureEnd = s.k.Now()
+	m.Events = s.k.Events()
+
+	var seekLatSum sim.Duration
+	for _, t := range s.terms {
+		st := t.Stats()
+		m.Glitches += st.Glitches
+		if st.Glitches > 0 {
+			m.GlitchTerminals++
+		}
+		m.BlocksServed += st.BlocksReceived
+		m.MoviesCompleted += st.MoviesCompleted
+		m.Seeks += st.Seeks
+		m.SkimBlocks += st.SkimBlocks
+		m.StaleDrops += st.StaleDrops
+		seekLatSum += st.SeekRePrimeSum
+		if st.SeekRePrimeMax > m.SeekRePrimeMax {
+			m.SeekRePrimeMax = st.SeekRePrimeMax
+		}
+		m.RespTimeSumAdd(st)
+	}
+	if m.Seeks > 0 {
+		m.SeekRePrimeAvg = seekLatSum / sim.Duration(m.Seeks)
+	}
+
+	m.DiskUtilMin = 2
+	for _, n := range s.nodes {
+		ns := n.Stats()
+		m.Nodes.Requests += ns.Requests
+		m.Nodes.Prefetches += ns.Prefetches
+		m.Nodes.DeadlineUps += ns.DeadlineUps
+		ps := n.Pool().Stats()
+		m.Pool.DemandRefs += ps.DemandRefs
+		m.Pool.DemandHits += ps.DemandHits
+		m.Pool.InFlightHits += ps.InFlightHits
+		m.Pool.Misses += ps.Misses
+		m.Pool.SharedRefs += ps.SharedRefs
+		m.Pool.PrefetchSkip += ps.PrefetchSkip
+		m.Pool.Evictions += ps.Evictions
+		m.Pool.AllocWaits += ps.AllocWaits
+		cu := n.CPU().Utilization()
+		m.CPUUtilAvg += cu
+		if cu > m.CPUUtilMax {
+			m.CPUUtilMax = cu
+		}
+		for _, d := range n.Disks() {
+			du := d.Utilization()
+			m.DiskUtilAvg += du
+			if du < m.DiskUtilMin {
+				m.DiskUtilMin = du
+			}
+			if du > m.DiskUtilMax {
+				m.DiskUtilMax = du
+			}
+		}
+	}
+	m.CPUUtilAvg /= float64(len(s.nodes))
+	m.DiskUtilAvg /= float64(s.cfg.TotalDisks())
+	if m.DiskUtilMin > 1 {
+		m.DiskUtilMin = 0
+	}
+	m.PeakNetBandwidth = s.net.PeakAggregateBandwidth()
+	m.NetTotalBytes = s.net.TotalBytes()
+	m.RespTimeP50 = sim.DurationOfSeconds(s.respHist.Quantile(0.50))
+	m.RespTimeP99 = sim.DurationOfSeconds(s.respHist.Quantile(0.99))
+	return m, nil
+}
+
+// RespTimeSumAdd folds one terminal's response-time stats into the
+// metrics (average finalized lazily).
+func (m *Metrics) RespTimeSumAdd(st terminal.Stats) {
+	if st.BlocksReceived > 0 {
+		// Accumulate a weighted average incrementally.
+		total := m.RespTimeAvg*sim.Duration(m.respBlocks) + st.RespTimeSum
+		m.respBlocks += st.BlocksReceived
+		m.RespTimeAvg = total / sim.Duration(m.respBlocks)
+	}
+	if st.RespTimeMax > m.RespTimeMax {
+		m.RespTimeMax = st.RespTimeMax
+	}
+}
+
+// Run builds and runs a configuration in one call.
+func Run(cfg Config) (Metrics, error) {
+	s, err := NewSimulation(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return s.Run()
+}
+
+// ScheduleDiskFault arranges (before Run) for one disk to degrade by
+// `factor` for `duration`, starting at absolute simulated time `at`.
+// Failure-injection tests use it to verify that the closed-loop system
+// glitches under degradation and restabilizes afterwards.
+func (s *Simulation) ScheduleDiskFault(diskGlobal int, at sim.Time, factor float64, duration sim.Duration) {
+	node := diskGlobal / s.cfg.DisksPerNode
+	local := diskGlobal % s.cfg.DisksPerNode
+	d := s.nodes[node].Disks()[local]
+	s.k.At(at, func() { d.InjectFault(factor, duration) })
+}
+
+// PiggybackStats reports (batches, riders) after a piggybacked run.
+func (s *Simulation) PiggybackStats() (batches, riders int64) {
+	if s.piggy == nil {
+		return 0, 0
+	}
+	return s.piggy.Batches, s.piggy.Riders
+}

@@ -1,0 +1,74 @@
+// Package cpu models the video-server node processors: a FCFS-scheduled
+// CPU at a fixed MIPS rating (Table 1: 40 MIPS, FCFS scheduling) that is
+// charged fixed instruction counts for the operations the paper costs —
+// starting an I/O (20000 instructions), sending a message (6800) and
+// receiving one (2200), values measured on the Intel Paragon.
+package cpu
+
+import (
+	"fmt"
+
+	"spiffi/internal/sim"
+)
+
+// Costs holds instruction counts for the charged operations.
+type Costs struct {
+	StartIO int64 // instructions to initiate a disk I/O
+	Send    int64 // instructions to send a message
+	Receive int64 // instructions to receive a message
+}
+
+// DefaultCosts returns the Table 1 instruction counts.
+func DefaultCosts() Costs {
+	return Costs{StartIO: 20000, Send: 6800, Receive: 2200}
+}
+
+// CPU is one node processor.
+type CPU struct {
+	fac   *sim.Facility
+	mips  float64
+	costs Costs
+}
+
+// New creates a CPU with the given MIPS rating (paper: 40).
+func New(k *sim.Kernel, id int, mips float64, costs Costs) *CPU {
+	if mips <= 0 {
+		panic("cpu: non-positive MIPS")
+	}
+	return &CPU{
+		fac:   sim.NewFacility(k, fmt.Sprintf("cpu-%d", id)),
+		mips:  mips,
+		costs: costs,
+	}
+}
+
+// instrTime converts an instruction count into execution time.
+func (c *CPU) instrTime(instrs int64) sim.Duration {
+	return sim.DurationOfSeconds(float64(instrs) / (c.mips * 1e6))
+}
+
+// Execute charges `instrs` instructions, queueing FCFS behind other work.
+func (c *CPU) Execute(p *sim.Proc, instrs int64) {
+	if instrs <= 0 {
+		return
+	}
+	c.fac.Use(p, c.instrTime(instrs))
+}
+
+// StartIO charges the I/O initiation cost.
+func (c *CPU) StartIO(p *sim.Proc) { c.Execute(p, c.costs.StartIO) }
+
+// Send charges the message send cost.
+func (c *CPU) Send(p *sim.Proc) { c.Execute(p, c.costs.Send) }
+
+// Receive charges the message receive cost.
+func (c *CPU) Receive(p *sim.Proc) { c.Execute(p, c.costs.Receive) }
+
+// Utilization reports the busy fraction of the measurement window.
+func (c *CPU) Utilization() float64 { return c.fac.Utilization() }
+
+// ResetStats restarts the measurement window.
+func (c *CPU) ResetStats() { c.fac.ResetStats() }
+
+// Costs returns the configured instruction costs.
+func (c *CPU) Costs() Costs { return c.costs }

@@ -1,0 +1,294 @@
+package disk
+
+import (
+	"math"
+	"testing"
+
+	"spiffi/internal/dsched"
+	"spiffi/internal/rng"
+	"spiffi/internal/sim"
+)
+
+func TestSeekTimeFormula(t *testing.T) {
+	p := DefaultParams()
+	if p.SeekTime(0) != 0 {
+		t.Fatal("zero distance must take zero time")
+	}
+	// settle 0.75ms + 0.283*sqrt(100) = 0.75 + 2.83 = 3.58 ms
+	got := p.SeekTime(100).Seconds() * 1000
+	if math.Abs(got-3.58) > 0.01 {
+		t.Fatalf("seek(100) = %v ms, want 3.58", got)
+	}
+	if p.SeekTime(400) <= p.SeekTime(100) {
+		t.Fatal("seek time must grow with distance")
+	}
+	// Sub-linear growth: 4x distance < 4x seek.
+	r := float64(p.SeekTime(400)) / float64(p.SeekTime(100))
+	if r >= 4 {
+		t.Fatalf("seek growth ratio %v, want sub-linear", r)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	p := DefaultParams()
+	// 7.4 MB at 7.4 MB/s = 1 second.
+	got := p.TransferTime(int64(p.TransferRate))
+	if math.Abs(got.Seconds()-1.0) > 1e-6 {
+		t.Fatalf("transfer = %v, want 1s", got)
+	}
+	// 512 KB ~ 69ms + positioning dominates the paper's service times.
+	ms := p.TransferTime(512*1024).Seconds() * 1000
+	if math.Abs(ms-67.6) > 1.0 {
+		t.Fatalf("512KB transfer = %vms, want ~67.6", ms)
+	}
+}
+
+func TestCylinderMapping(t *testing.T) {
+	p := DefaultParams()
+	if p.Cylinder(0) != 0 {
+		t.Fatal("offset 0")
+	}
+	if p.Cylinder(1_249_999) != 0 {
+		t.Fatal("end of cylinder 0")
+	}
+	if p.Cylinder(1_250_000) != 1 {
+		t.Fatal("start of cylinder 1")
+	}
+}
+
+func newTestDisk(k *sim.Kernel, sched dsched.Scheduler, done *[]*dsched.Request) *Disk {
+	return New(k, 0, DefaultParams(), sched, rng.New(42).Derive("disk"), func(r *dsched.Request) {
+		*done = append(*done, r)
+	})
+}
+
+func TestDiskServicesSubmittedRequest(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	var done []*dsched.Request
+	d := newTestDisk(k, dsched.NewFCFS(), &done)
+	k.At(0, func() {
+		d.Submit(&dsched.Request{Offset: 10 * 1_250_000, Size: 512 * 1024})
+	})
+	if err := k.Run(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 {
+		t.Fatalf("completed %d requests, want 1", len(done))
+	}
+	if d.Stats().Served != 1 {
+		t.Fatal("stats.Served")
+	}
+	// Service time must include seek + some rotation + transfer.
+	minT := DefaultParams().SeekTime(10) + DefaultParams().TransferTime(512*1024)
+	maxT := minT + DefaultParams().RotationTime
+	if d.Stats().BusyTime < minT || d.Stats().BusyTime > maxT {
+		t.Fatalf("busy time %v outside [%v, %v]", d.Stats().BusyTime, minT, maxT)
+	}
+}
+
+func TestDiskWakesFromIdle(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	var done []*dsched.Request
+	d := newTestDisk(k, dsched.NewFCFS(), &done)
+	// Let the disk go idle first, then submit.
+	k.At(sim.Time(sim.Second), func() {
+		d.Submit(&dsched.Request{Offset: 0, Size: 1024})
+	})
+	if err := k.Run(sim.Time(2 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 {
+		t.Fatal("request after idle was not serviced")
+	}
+}
+
+func TestDiskServesInSchedulerOrder(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	var done []*dsched.Request
+	d := newTestDisk(k, dsched.NewElevator(), &done)
+	cyl := DefaultParams().CylinderBytes
+	k.At(0, func() {
+		// Head at 0: elevator should go 5, 40, 80 regardless of order.
+		d.Submit(&dsched.Request{Offset: 80 * cyl, Size: 1024})
+		d.Submit(&dsched.Request{Offset: 5 * cyl, Size: 1024})
+		d.Submit(&dsched.Request{Offset: 40 * cyl, Size: 1024})
+	})
+	if err := k.Run(sim.Time(5 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 3 {
+		t.Fatalf("completed %d", len(done))
+	}
+	if done[0].Cylinder != 5 || done[1].Cylinder != 40 || done[2].Cylinder != 80 {
+		t.Fatalf("service order = %d,%d,%d want 5,40,80",
+			done[0].Cylinder, done[1].Cylinder, done[2].Cylinder)
+	}
+}
+
+func TestSequentialReadHitsCache(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	var done []*dsched.Request
+	d := newTestDisk(k, dsched.NewFCFS(), &done)
+	k.At(0, func() {
+		d.Submit(&dsched.Request{Offset: 0, Size: 64 * 1024})
+		d.Submit(&dsched.Request{Offset: 64 * 1024, Size: 64 * 1024}) // exact continuation
+	})
+	if err := k.Run(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().CacheHits; got != 1 {
+		t.Fatalf("cache hits = %d, want 1", got)
+	}
+}
+
+func TestRandomReadMissesCache(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	var done []*dsched.Request
+	d := newTestDisk(k, dsched.NewFCFS(), &done)
+	k.At(0, func() {
+		d.Submit(&dsched.Request{Offset: 0, Size: 64 * 1024})
+		d.Submit(&dsched.Request{Offset: 500 * 1_250_000, Size: 64 * 1024})
+	})
+	if err := k.Run(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().CacheHits; got != 0 {
+		t.Fatalf("cache hits = %d, want 0", got)
+	}
+}
+
+func TestCacheEvictsLRUContext(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	var done []*dsched.Request
+	d := newTestDisk(k, dsched.NewFCFS(), &done)
+	// Touch 9 distinct streams (more than 8 contexts), then return to the
+	// first: its context must have been evicted.
+	k.At(0, func() {
+		for s := 0; s < 9; s++ {
+			d.Submit(&dsched.Request{Offset: int64(s) * 100_000_000, Size: 64 * 1024})
+		}
+		// Continuation of stream 0 — would hit had it not been evicted.
+		d.Submit(&dsched.Request{Offset: 64 * 1024, Size: 64 * 1024})
+	})
+	if err := k.Run(sim.Time(10 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().CacheHits; got != 0 {
+		t.Fatalf("cache hits = %d, want 0 (context evicted)", got)
+	}
+}
+
+func TestUtilizationAndReset(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	var done []*dsched.Request
+	d := newTestDisk(k, dsched.NewFCFS(), &done)
+	k.At(0, func() {
+		d.Submit(&dsched.Request{Offset: 0, Size: 740 * 1024}) // ~100ms transfer
+	})
+	if err := k.Run(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	u := d.Utilization()
+	if u < 0.08 || u > 0.15 {
+		t.Fatalf("utilization = %v, want ~0.1", u)
+	}
+	d.ResetStats()
+	if err := k.Run(sim.Time(2 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Utilization(); got != 0 {
+		t.Fatalf("post-reset idle utilization = %v, want 0", got)
+	}
+	if d.Stats().Served != 0 {
+		t.Fatal("reset must clear served count")
+	}
+}
+
+func TestDeterministicService(t *testing.T) {
+	run := func() sim.Duration {
+		k := sim.NewKernel()
+		defer k.Close()
+		var done []*dsched.Request
+		d := newTestDisk(k, dsched.NewElevator(), &done)
+		k.At(0, func() {
+			for i := 0; i < 20; i++ {
+				d.Submit(&dsched.Request{Offset: int64(i*37%19) * 1_250_000 * 10, Size: 256 * 1024})
+			}
+		})
+		if err := k.Run(sim.Time(30 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats().BusyTime
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkDiskService(b *testing.B) {
+	k := sim.NewKernel()
+	defer k.Close()
+	served := 0
+	d := New(k, 0, DefaultParams(), dsched.NewElevator(), rng.New(1), func(r *dsched.Request) {
+		served++
+	})
+	k.At(0, func() {
+		for i := 0; i < b.N; i++ {
+			d.Submit(&dsched.Request{Offset: int64(i%4000) * 1_250_000, Size: 512 * 1024})
+		}
+	})
+	b.ResetTimer()
+	if err := k.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestFaultInjectionSlowsService(t *testing.T) {
+	run := func(inject bool) sim.Duration {
+		k := sim.NewKernel()
+		defer k.Close()
+		var done []*dsched.Request
+		d := newTestDisk(k, dsched.NewFCFS(), &done)
+		if inject {
+			d.InjectFault(10, sim.Duration(10*sim.Second))
+		}
+		k.At(0, func() {
+			d.Submit(&dsched.Request{Offset: 0, Size: 512 * 1024})
+		})
+		if err := k.Run(sim.Time(20 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats().BusyTime
+	}
+	normal, degraded := run(false), run(true)
+	ratio := float64(degraded) / float64(normal)
+	if ratio < 9.9 || ratio > 10.1 {
+		t.Fatalf("fault slowdown ratio = %v, want 10", ratio)
+	}
+}
+
+func TestFaultExpires(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	var done []*dsched.Request
+	d := newTestDisk(k, dsched.NewFCFS(), &done)
+	d.InjectFault(10, sim.Duration(sim.Second))
+	// Submit after the fault window has elapsed.
+	k.At(sim.Time(2*sim.Second), func() {
+		d.Submit(&dsched.Request{Offset: 0, Size: 512 * 1024})
+	})
+	if err := k.Run(sim.Time(10 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Normal 512KB access takes well under 200 ms.
+	if d.Stats().BusyTime > sim.Duration(200*sim.Millisecond) {
+		t.Fatalf("fault did not expire: busy=%v", d.Stats().BusyTime)
+	}
+}

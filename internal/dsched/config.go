@@ -1,0 +1,99 @@
+package dsched
+
+import (
+	"fmt"
+
+	"spiffi/internal/sim"
+)
+
+// Kind selects a disk scheduling algorithm.
+type Kind string
+
+// The scheduling algorithms compared in the paper's Figure 10, plus
+// FCFS, SSTF and C-SCAN as extra classic baselines.
+const (
+	KindElevator   Kind = "elevator"
+	KindFCFS       Kind = "fcfs"
+	KindRoundRobin Kind = "round-robin"
+	KindGSS        Kind = "gss"
+	KindRealTime   Kind = "real-time"
+	KindSSTF       Kind = "sstf"
+	KindCSCAN      Kind = "cscan"
+)
+
+// Config is a declarative scheduler specification; one scheduler instance
+// is built per disk.
+type Config struct {
+	Kind Kind
+
+	// Groups applies to KindGSS (paper: 1 group in Figure 10).
+	Groups int
+
+	// Classes and Spacing apply to KindRealTime (paper's tuned values:
+	// 3 classes, 4-second spacing).
+	Classes int
+	Spacing sim.Duration
+}
+
+// String renders the configuration the way the paper labels its curves.
+func (c Config) String() string {
+	switch c.Kind {
+	case KindGSS:
+		return fmt.Sprintf("gss(%d)", c.Groups)
+	case KindRealTime:
+		return fmt.Sprintf("real-time(%d,%gs)", c.Classes, c.Spacing.Seconds())
+	default:
+		return string(c.Kind)
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch c.Kind {
+	case KindElevator, KindFCFS, KindRoundRobin, KindSSTF, KindCSCAN:
+		return nil
+	case KindGSS:
+		if c.Groups < 1 {
+			return fmt.Errorf("dsched: gss needs Groups >= 1, got %d", c.Groups)
+		}
+		return nil
+	case KindRealTime:
+		if c.Classes < 1 {
+			return fmt.Errorf("dsched: real-time needs Classes >= 1, got %d", c.Classes)
+		}
+		if c.Spacing <= 0 {
+			return fmt.Errorf("dsched: real-time needs Spacing > 0, got %v", c.Spacing)
+		}
+		return nil
+	default:
+		return fmt.Errorf("dsched: unknown scheduler kind %q", c.Kind)
+	}
+}
+
+// New builds a scheduler instance for one disk.
+func (c Config) New() Scheduler {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	switch c.Kind {
+	case KindElevator:
+		return NewElevator()
+	case KindFCFS:
+		return NewFCFS()
+	case KindRoundRobin:
+		return NewRoundRobin()
+	case KindSSTF:
+		return NewSSTF()
+	case KindCSCAN:
+		return NewCSCAN()
+	case KindGSS:
+		return NewGSS(c.Groups)
+	default:
+		return NewRealTime(c.Classes, c.Spacing)
+	}
+}
+
+// IsRealTime reports whether the configuration assigns deadlines meaning —
+// prefetching algorithms that need deadlines (real-time and delayed
+// prefetching, §5.2.3) require a real-time scheduler.
+func (c Config) IsRealTime() bool { return c.Kind == KindRealTime }

@@ -1,0 +1,112 @@
+package dsched
+
+import "spiffi/internal/sim"
+
+// Elevator is the classic SCAN algorithm (§5.2.2): the head sweeps across
+// cylinders servicing requests in passing, reversing at the last pending
+// request in the travel direction. It nearly minimizes seeks while
+// remaining fair.
+type Elevator struct {
+	reqs []*Request
+	dir  int
+}
+
+// NewElevator returns an empty elevator queue sweeping upward first.
+func NewElevator() *Elevator { return &Elevator{dir: 1} }
+
+// Name implements Scheduler.
+func (e *Elevator) Name() string { return "elevator" }
+
+// Add implements Scheduler.
+func (e *Elevator) Add(r *Request) { e.reqs = append(e.reqs, r) }
+
+// Len implements Scheduler.
+func (e *Elevator) Len() int { return len(e.reqs) }
+
+// Next implements Scheduler.
+func (e *Elevator) Next(_ sim.Time, headCyl int) *Request {
+	if len(e.reqs) == 0 {
+		return nil
+	}
+	i, dir := pickElevator(e.reqs, headCyl, e.dir)
+	e.dir = dir
+	r := e.reqs[i]
+	e.reqs = removeAt(e.reqs, i)
+	return r
+}
+
+// FCFS services requests strictly in arrival order. It is the baseline
+// discipline of the Haritsa/Karthikeyan comparison referenced in §3 and
+// is useful for calibration tests.
+type FCFS struct {
+	reqs []*Request
+}
+
+// NewFCFS returns an empty FCFS queue.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Name implements Scheduler.
+func (f *FCFS) Name() string { return "fcfs" }
+
+// Add implements Scheduler.
+func (f *FCFS) Add(r *Request) { f.reqs = append(f.reqs, r) }
+
+// Len implements Scheduler.
+func (f *FCFS) Len() int { return len(f.reqs) }
+
+// Next implements Scheduler.
+func (f *FCFS) Next(_ sim.Time, _ int) *Request {
+	if len(f.reqs) == 0 {
+		return nil
+	}
+	r := f.reqs[0]
+	f.reqs = removeAt(f.reqs, 0)
+	return r
+}
+
+// RoundRobin services terminals in strict cyclic order, taking the oldest
+// pending request of each terminal in turn. The paper notes this is the
+// GSS limit where every terminal forms its own group, and shows it always
+// loses to seek-optimizing algorithms (Figure 10).
+type RoundRobin struct {
+	reqs   []*Request
+	cursor int // terminal id after which the scan resumes
+}
+
+// NewRoundRobin returns an empty round-robin queue.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{cursor: -1} }
+
+// Name implements Scheduler.
+func (rr *RoundRobin) Name() string { return "round-robin" }
+
+// Add implements Scheduler.
+func (rr *RoundRobin) Add(r *Request) { rr.reqs = append(rr.reqs, r) }
+
+// Len implements Scheduler.
+func (rr *RoundRobin) Len() int { return len(rr.reqs) }
+
+// Next implements Scheduler.
+func (rr *RoundRobin) Next(_ sim.Time, _ int) *Request {
+	if len(rr.reqs) == 0 {
+		return nil
+	}
+	// Choose the terminal with the smallest cyclic distance from the
+	// cursor, then that terminal's oldest request.
+	bestIdx := -1
+	bestKey := 1 << 62
+	for i, r := range rr.reqs {
+		key := r.Terminal - rr.cursor - 1
+		if key < 0 {
+			// Wrap far enough that all ids order cyclically after cursor.
+			key += 1 << 31
+		}
+		if key < bestKey || (key == bestKey && r.Seq < rr.reqs[bestIdx].Seq) {
+			bestKey = key
+			bestIdx = i
+		}
+	}
+	r := rr.reqs[bestIdx]
+	rr.cursor = r.Terminal
+	rr.reqs = removeAt(rr.reqs, bestIdx)
+	return r
+}

@@ -1,0 +1,99 @@
+package dsched
+
+import "spiffi/internal/sim"
+
+// SSTF (shortest seek time first) always services the pending request
+// nearest the head. It minimizes per-access seek time more greedily than
+// the elevator but is unfair: requests at the platter edges can starve
+// under load. It is not in the paper's comparison; it is included as an
+// additional classic baseline for ablation studies.
+type SSTF struct {
+	reqs []*Request
+}
+
+// NewSSTF returns an empty SSTF queue.
+func NewSSTF() *SSTF { return &SSTF{} }
+
+// Name implements Scheduler.
+func (s *SSTF) Name() string { return "sstf" }
+
+// Add implements Scheduler.
+func (s *SSTF) Add(r *Request) { s.reqs = append(s.reqs, r) }
+
+// Len implements Scheduler.
+func (s *SSTF) Len() int { return len(s.reqs) }
+
+// Next implements Scheduler.
+func (s *SSTF) Next(_ sim.Time, headCyl int) *Request {
+	if len(s.reqs) == 0 {
+		return nil
+	}
+	best := 0
+	for i, r := range s.reqs {
+		b := s.reqs[best]
+		di, db := absInt(r.Cylinder-headCyl), absInt(b.Cylinder-headCyl)
+		if di < db || (di == db && r.Seq < b.Seq) {
+			best = i
+		}
+	}
+	r := s.reqs[best]
+	s.reqs = removeAt(s.reqs, best)
+	return r
+}
+
+// CSCAN is the circular elevator: the head sweeps in one direction only,
+// jumping back to the lowest pending cylinder when nothing lies ahead.
+// Compared with the plain elevator it trades a little seek efficiency
+// for lower service-time variance. Also an ablation baseline.
+type CSCAN struct {
+	reqs []*Request
+}
+
+// NewCSCAN returns an empty C-SCAN queue.
+func NewCSCAN() *CSCAN { return &CSCAN{} }
+
+// Name implements Scheduler.
+func (c *CSCAN) Name() string { return "cscan" }
+
+// Add implements Scheduler.
+func (c *CSCAN) Add(r *Request) { c.reqs = append(c.reqs, r) }
+
+// Len implements Scheduler.
+func (c *CSCAN) Len() int { return len(c.reqs) }
+
+// Next implements Scheduler.
+func (c *CSCAN) Next(_ sim.Time, headCyl int) *Request {
+	if len(c.reqs) == 0 {
+		return nil
+	}
+	// Nearest request at or above the head; else wrap to the lowest.
+	best := -1
+	for i, r := range c.reqs {
+		if r.Cylinder < headCyl {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := c.reqs[best]
+		if r.Cylinder < b.Cylinder || (r.Cylinder == b.Cylinder && r.Seq < b.Seq) {
+			best = i
+		}
+	}
+	if best == -1 {
+		for i, r := range c.reqs {
+			if best == -1 {
+				best = i
+				continue
+			}
+			b := c.reqs[best]
+			if r.Cylinder < b.Cylinder || (r.Cylinder == b.Cylinder && r.Seq < b.Seq) {
+				best = i
+			}
+		}
+	}
+	r := c.reqs[best]
+	c.reqs = removeAt(c.reqs, best)
+	return r
+}

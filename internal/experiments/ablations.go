@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spiffi/internal/admission"
+
+	"spiffi/internal/bufferpool"
+	"spiffi/internal/core"
+	"spiffi/internal/dsched"
+	"spiffi/internal/prefetch"
+	"spiffi/internal/sim"
+	"spiffi/internal/terminal"
+)
+
+// The experiments in this file go beyond the paper's published plots:
+// they ablate design choices the paper asserts in prose (§5.2.3's
+// prefetch configuration, §7.2's claim that real-time parameters barely
+// matter, the disk read-ahead cache, and the §8.1 VCR operations).
+
+// AblationRTParams checks §7.2's claim: "We explored a wide variety of
+// settings for these parameters [priority classes and spacing] and
+// found that regardless of how they were set there was little variation
+// in the performance of the system."
+func AblationRTParams(f Fidelity) (Result, error) {
+	res := Result{
+		ID:     "ablation-rt",
+		Title:  "Real-time scheduler parameter insensitivity (§7.2 claim)",
+		XLabel: "priority spacing (s)",
+		YLabel: "max terminals",
+	}
+	for _, classes := range []int{2, 3, 8} {
+		s := Series{Name: fmt.Sprintf("%d classes", classes)}
+		for _, spacing := range []sim.Duration{1 * sim.Second, 4 * sim.Second, 8 * sim.Second} {
+			cfg := base()
+			cfg.Sched = dsched.Config{Kind: dsched.KindRealTime, Classes: classes, Spacing: spacing}
+			cfg.Replacement = bufferpool.PolicyLovePrefetch
+			cfg.ServerMemBytes = 512 * core.MB
+			r, err := f.search(cfg, 0, 0)
+			if err != nil {
+				return res, err
+			}
+			s.Points = append(s.Points, Point{X: spacing.Seconds(), Y: float64(r.MaxTerminals)})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// AblationPrefetch measures what prefetching buys: no prefetching vs.
+// basic FIFO (one worker) vs. deadline-aware real-time prefetching,
+// everything else held at the paper's real-time configuration.
+func AblationPrefetch(f Fidelity) (Result, error) {
+	res := Result{
+		ID:     "ablation-prefetch",
+		Title:  "Value of prefetching (real-time scheduling, 512 MB)",
+		XLabel: "variant",
+		YLabel: "max terminals",
+	}
+	variants := []struct {
+		idx  float64
+		name string
+		pf   prefetch.Config
+	}{
+		{1, "off", prefetch.Config{Mode: prefetch.ModeOff}},
+		{2, "basic(1 worker)", prefetch.Config{Mode: prefetch.ModeBasic, WorkersPerDisk: 1}},
+		{3, "real-time(4 workers)", prefetch.Config{Mode: prefetch.ModeRealTime, WorkersPerDisk: 4}},
+	}
+	s := Series{Name: "max terminals"}
+	for _, v := range variants {
+		cfg := base()
+		cfg.Sched = rt34()
+		cfg.Replacement = bufferpool.PolicyLovePrefetch
+		cfg.ServerMemBytes = 512 * core.MB
+		cfg.Prefetch = v.pf
+		r, err := f.search(cfg, 0, 0)
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", v.name, err)
+		}
+		s.Points = append(s.Points, Point{X: v.idx, Y: float64(r.MaxTerminals)})
+		res.Notes = append(res.Notes, fmt.Sprintf("x=%g is %s", v.idx, v.name))
+	}
+	res.Series = append(res.Series, s)
+	return res, nil
+}
+
+// AblationDiskCache removes the drive's segmented read-ahead cache to
+// quantify how much the sequential-continuation optimization matters at
+// video-server stripe sizes (the paper models 8x128 KB contexts).
+func AblationDiskCache(f Fidelity) (Result, error) {
+	res := Result{
+		ID:     "ablation-cache",
+		Title:  "Drive read-ahead cache on vs. off",
+		XLabel: "stripe size (KB)",
+		YLabel: "max terminals",
+	}
+	for _, contexts := range []int{8, 0} {
+		name := "8 contexts"
+		if contexts == 0 {
+			name = "no cache"
+		}
+		s := Series{Name: name}
+		for _, kb := range f.StripePointsKB {
+			cfg := base()
+			cfg.StripeBytes = kb * core.KB
+			cfg.DiskParams.CacheContexts = contexts
+			r, err := f.search(cfg, 0, 0)
+			if err != nil {
+				return res, err
+			}
+			s.Points = append(s.Points, Point{X: float64(kb), Y: float64(r.MaxTerminals)})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// AblationSchedulerZoo adds SSTF and C-SCAN (classic algorithms the
+// paper does not evaluate) next to elevator and FCFS at the optimal
+// stripe size.
+func AblationSchedulerZoo(f Fidelity) (Result, error) {
+	res := Result{
+		ID:     "ablation-sched",
+		Title:  "Extra disk schedulers at 512 KB stripes",
+		XLabel: "variant",
+		YLabel: "max terminals",
+	}
+	s := Series{Name: "max terminals"}
+	for i, sc := range []dsched.Config{
+		{Kind: dsched.KindElevator},
+		{Kind: dsched.KindCSCAN},
+		{Kind: dsched.KindSSTF},
+		{Kind: dsched.KindFCFS},
+	} {
+		cfg := base()
+		cfg.Sched = sc
+		r, err := f.search(cfg, 0, 0)
+		if err != nil {
+			return res, fmt.Errorf("%v: %w", sc, err)
+		}
+		s.Points = append(s.Points, Point{X: float64(i + 1), Y: float64(r.MaxTerminals)})
+		res.Notes = append(res.Notes, fmt.Sprintf("x=%d is %s", i+1, sc.String()))
+	}
+	res.Series = append(res.Series, s)
+	return res, nil
+}
+
+// Admission reproduces §4's design argument: the worst-case analytical
+// capacity (every access pays a full-span seek and full rotation) that a
+// provably glitch-free system would admit, the mean-value analytical
+// capacity, and the capacity the simulation actually sustains. The
+// paper: "a system that is designed around an analytical study and is
+// proven never to cause a glitch is unlikely to achieve high utilization
+// of the hardware."
+func Admission(f Fidelity) (Result, error) {
+	res := Result{
+		ID:     "admission",
+		Title:  "Analytical admission bounds vs. simulated capacity (§4)",
+		XLabel: "variant",
+		YLabel: "terminals",
+	}
+	cfg := base()
+	a := admission.Analysis{
+		Disk:        cfg.DiskParams,
+		Cylinders:   4000,
+		StripeBytes: cfg.StripeBytes,
+		BitRate:     cfg.Video.BitRate,
+		TotalDisks:  cfg.TotalDisks(),
+	}
+	r, err := f.search(cfg, 0, 0)
+	if err != nil {
+		return res, err
+	}
+	s := Series{Name: "terminals", Points: []Point{
+		{X: 1, Y: float64(a.WorstCaseTerminals())},
+		{X: 2, Y: float64(a.ExpectedCaseTerminals())},
+		{X: 3, Y: float64(r.MaxTerminals)},
+	}}
+	res.Series = append(res.Series, s)
+	res.Notes = append(res.Notes,
+		"x=1 worst-case analytical bound (provably glitch-free, §4)",
+		"x=2 expected-case analytical bound",
+		"x=3 simulated maximum (this system's methodology)")
+	return res, nil
+}
+
+// AblationZonedDisks ablates the paper's §6.2 simplification ("for
+// simplicity ... a constant cylinder size is assumed") by running the
+// same configurations on zoned-bit-recording drives whose outer zones
+// hold more data and transfer ~30% faster than inner zones.
+func AblationZonedDisks(f Fidelity) (Result, error) {
+	res := Result{
+		ID:     "ablation-zoned",
+		Title:  "Constant cylinders vs. zoned-bit-recording geometry (§6.2 simplification)",
+		XLabel: "stripe size (KB)",
+		YLabel: "max terminals",
+	}
+	for _, zoned := range []bool{false, true} {
+		name := "constant cylinders"
+		if zoned {
+			name = "zoned (8 zones)"
+		}
+		s := Series{Name: name}
+		for _, kb := range f.StripePointsKB {
+			cfg := base()
+			cfg.StripeBytes = kb * core.KB
+			cfg.ZonedDisks = zoned
+			r, err := f.search(cfg, 0, 0)
+			if err != nil {
+				return res, err
+			}
+			s.Points = append(s.Points, Point{X: float64(kb), Y: float64(r.MaxTerminals)})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// VCRSeek exercises the §8.1 rewind/fast-forward implementation: max
+// terminals without seeks, with jump seeks (seek + re-prime), and with
+// the visual-search skim scheme. The paper predicts the skim scheme
+// "will not significantly increase the load on the video server".
+func VCRSeek(f Fidelity) (Result, error) {
+	res := Result{
+		ID:     "vcr",
+		Title:  "Rewind/fast-forward and visual search (§8.1)",
+		XLabel: "variant",
+		YLabel: "max terminals",
+	}
+	mk := func(v *terminal.VCRConfig) core.Config {
+		cfg := base()
+		cfg.Replacement = bufferpool.PolicyLovePrefetch
+		cfg.ServerMemBytes = 512 * core.MB
+		cfg.VCR = v
+		return cfg
+	}
+	variants := []struct {
+		idx  float64
+		name string
+		cfg  core.Config
+	}{
+		{1, "no seeks", mk(nil)},
+		{2, "jump seeks", mk(&terminal.VCRConfig{
+			MeanSeeksPerMovie: 2, MeanDistanceFrac: 0.25, ForwardProb: 0.5,
+		})},
+		{3, "visual search", mk(&terminal.VCRConfig{
+			MeanSeeksPerMovie: 2, MeanDistanceFrac: 0.25, ForwardProb: 0.5,
+			Skim: true, SkimStrideBlocks: 8, SkimSegmentFrames: 30,
+		})},
+	}
+	s := Series{Name: "max terminals"}
+	for _, v := range variants {
+		r, err := f.search(v.cfg, 0, 0)
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", v.name, err)
+		}
+		s.Points = append(s.Points, Point{X: v.idx, Y: float64(r.MaxTerminals)})
+		res.Notes = append(res.Notes, fmt.Sprintf("x=%g is %s", v.idx, v.name))
+	}
+	res.Series = append(res.Series, s)
+	return res, nil
+}

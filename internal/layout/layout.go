@@ -1,0 +1,225 @@
+// Package layout implements SPIFFI's video placement (§5.2, Figure 3 of
+// the paper): every video is declustered across all disks, alternating
+// first between nodes and then between the disks at each node, with the
+// per-disk portion of a video (its "fragment") laid out contiguously.
+// A non-striped placement (whole video on one disk, §7.4) is provided as
+// the paper's comparison baseline.
+package layout
+
+import (
+	"fmt"
+
+	"spiffi/internal/rng"
+)
+
+// Address locates one stripe block on the server.
+type Address struct {
+	Node       int   // node index
+	Disk       int   // disk index within the node
+	DiskGlobal int   // disk index across the whole server
+	Offset     int64 // byte offset on the disk where the block starts
+	Size       int64 // block length in bytes
+}
+
+// Placement maps (video, block) pairs to disk addresses. Blocks are
+// stripe blocks for the striped layout and read-size chunks for the
+// non-striped layout; in both cases block data is contiguous on its disk.
+type Placement struct {
+	striped      bool
+	nodes        int
+	disksPerNode int
+	totalDisks   int
+	blockSize    int64 // stripe size (striped) or read size (non-striped)
+
+	videoSizes []int64
+	numBlocks  []int // per video
+
+	// Striped: every disk reserves regionBytes per video, so video v's
+	// fragment on any disk starts at v*regionBytes.
+	regionBytes int64
+
+	// Non-striped: video -> disk, and byte offset of the video's start.
+	videoDisk  []int
+	videoStart []int64
+}
+
+// NewStriped builds the paper's fully striped placement.
+func NewStriped(videoSizes []int64, stripeSize int64, nodes, disksPerNode int) *Placement {
+	p := newPlacement(videoSizes, stripeSize, nodes, disksPerNode)
+	p.striped = true
+	// Largest per-disk fragment across videos determines the per-video
+	// region reserved on every disk.
+	var maxBlocks int
+	for _, nb := range p.numBlocks {
+		if nb > maxBlocks {
+			maxBlocks = nb
+		}
+	}
+	fragBlocks := (maxBlocks + p.totalDisks - 1) / p.totalDisks
+	p.regionBytes = int64(fragBlocks) * stripeSize
+	return p
+}
+
+// NewNonStriped builds the §7.4 baseline: each video is stored
+// contiguously on one disk, with videos dealt to disks in a random
+// order so that every disk holds the same number of videos (the paper
+// stores "each video on a single, randomly chosen disk and each disk
+// held exactly 4 videos").
+func NewNonStriped(videoSizes []int64, readSize int64, nodes, disksPerNode int, src *rng.Source) *Placement {
+	p := newPlacement(videoSizes, readSize, nodes, disksPerNode)
+	p.striped = false
+	n := len(videoSizes)
+	if n%p.totalDisks != 0 {
+		panic(fmt.Sprintf("layout: %d videos do not divide evenly over %d disks", n, p.totalDisks))
+	}
+	// Random permutation of videos, dealt round-robin to disks.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	p.videoDisk = make([]int, n)
+	p.videoStart = make([]int64, n)
+	diskTop := make([]int64, p.totalDisks)
+	for i, v := range perm {
+		d := i % p.totalDisks
+		p.videoDisk[v] = d
+		p.videoStart[v] = diskTop[d]
+		diskTop[d] += videoSizes[v]
+	}
+	return p
+}
+
+func newPlacement(videoSizes []int64, blockSize int64, nodes, disksPerNode int) *Placement {
+	if blockSize <= 0 {
+		panic("layout: non-positive block size")
+	}
+	if nodes <= 0 || disksPerNode <= 0 {
+		panic("layout: need at least one node and one disk")
+	}
+	p := &Placement{
+		nodes:        nodes,
+		disksPerNode: disksPerNode,
+		totalDisks:   nodes * disksPerNode,
+		blockSize:    blockSize,
+		videoSizes:   videoSizes,
+		numBlocks:    make([]int, len(videoSizes)),
+	}
+	for i, sz := range videoSizes {
+		if sz <= 0 {
+			panic("layout: non-positive video size")
+		}
+		p.numBlocks[i] = int((sz + blockSize - 1) / blockSize)
+	}
+	return p
+}
+
+// Striped reports whether this is the striped placement.
+func (p *Placement) Striped() bool { return p.striped }
+
+// Nodes returns the node count.
+func (p *Placement) Nodes() int { return p.nodes }
+
+// DisksPerNode returns the per-node disk count.
+func (p *Placement) DisksPerNode() int { return p.disksPerNode }
+
+// TotalDisks returns nodes*disksPerNode.
+func (p *Placement) TotalDisks() int { return p.totalDisks }
+
+// BlockSize returns the stripe size (striped) or read size (non-striped).
+func (p *Placement) BlockSize() int64 { return p.blockSize }
+
+// NumVideos returns the catalog size.
+func (p *Placement) NumVideos() int { return len(p.videoSizes) }
+
+// VideoSize returns the byte length of video v.
+func (p *Placement) VideoSize(v int) int64 { return p.videoSizes[v] }
+
+// NumBlocks returns the number of blocks of video v.
+func (p *Placement) NumBlocks(v int) int { return p.numBlocks[v] }
+
+// SizeOfBlock returns the byte length of block b of video v (the final
+// block may be short).
+func (p *Placement) SizeOfBlock(v, b int) int64 {
+	if b == p.numBlocks[v]-1 {
+		if rem := p.videoSizes[v] - int64(b)*p.blockSize; rem < p.blockSize {
+			return rem
+		}
+	}
+	return p.blockSize
+}
+
+// BlockOfByte returns the block containing stream offset off of video v.
+func (p *Placement) BlockOfByte(v int, off int64) int {
+	if off < 0 || off >= p.videoSizes[v] {
+		panic("layout: byte offset out of range")
+	}
+	return int(off / p.blockSize)
+}
+
+// Locate maps (video, block) to a disk address. Figure 3 ordering:
+// block b lives on node b%N, disk (b/N)%D within that node, at stripe
+// index b/(N*D) within the video's contiguous fragment on that disk.
+func (p *Placement) Locate(v, b int) Address {
+	if b < 0 || b >= p.numBlocks[v] {
+		panic(fmt.Sprintf("layout: block %d out of range for video %d (%d blocks)", b, v, p.numBlocks[v]))
+	}
+	size := p.SizeOfBlock(v, b)
+	if !p.striped {
+		d := p.videoDisk[v]
+		return Address{
+			Node:       d / p.disksPerNode,
+			Disk:       d % p.disksPerNode,
+			DiskGlobal: d,
+			Offset:     p.videoStart[v] + int64(b)*p.blockSize,
+			Size:       size,
+		}
+	}
+	node := b % p.nodes
+	disk := (b / p.nodes) % p.disksPerNode
+	stripeIdx := b / p.totalDisks
+	return Address{
+		Node:       node,
+		Disk:       disk,
+		DiskGlobal: node*p.disksPerNode + disk,
+		Offset:     int64(v)*p.regionBytes + int64(stripeIdx)*p.blockSize,
+		Size:       size,
+	}
+}
+
+// NextBlockOnSameDisk returns the next block of video v that lives on the
+// same disk as block b, for sequential prefetching. ok is false when no
+// such block exists (end of the video's data on that disk).
+func (p *Placement) NextBlockOnSameDisk(v, b int) (next int, ok bool) {
+	step := 1
+	if p.striped {
+		step = p.totalDisks
+	}
+	next = b + step
+	if next >= p.numBlocks[v] {
+		return 0, false
+	}
+	return next, true
+}
+
+// MaxDiskBytes returns the highest end-of-data offset across disks, used
+// to size the simulated disks' cylinder range.
+func (p *Placement) MaxDiskBytes() int64 {
+	if p.striped {
+		return int64(len(p.videoSizes)) * p.regionBytes
+	}
+	top := make([]int64, p.totalDisks)
+	for v, sz := range p.videoSizes {
+		top[p.videoDisk[v]] += sz
+	}
+	var max int64
+	for _, t := range top {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}

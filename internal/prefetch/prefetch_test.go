@@ -1,0 +1,195 @@
+package prefetch
+
+import (
+	"testing"
+
+	"spiffi/internal/sim"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	q := NewFIFO(k)
+	var got []int
+	k.Spawn("w", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p).Block)
+		}
+	})
+	k.At(0, func() {
+		q.Put(Job{Block: 1})
+		q.Put(Job{Block: 2})
+		q.Put(Job{Block: 3})
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestDeadlineOrdersByUrgency(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	q := NewDeadline(k, 0)
+	var got []int
+	k.At(0, func() {
+		q.Put(Job{Block: 1, Deadline: sim.Time(30 * sim.Second)})
+		q.Put(Job{Block: 2, Deadline: sim.Time(10 * sim.Second)})
+		q.Put(Job{Block: 3, Deadline: sim.Time(20 * sim.Second)})
+	})
+	k.SpawnAt(1, "w", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p).Block)
+		}
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("order = %v, want most urgent first", got)
+	}
+}
+
+func TestDeadlineTiesFIFO(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	q := NewDeadline(k, 0)
+	var got []int
+	k.At(0, func() {
+		q.Put(Job{Block: 7, Deadline: 100})
+		q.Put(Job{Block: 8, Deadline: 100})
+	})
+	k.SpawnAt(1, "w", func(p *sim.Proc) {
+		got = append(got, q.Get(p).Block, q.Get(p).Block)
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || got[1] != 8 {
+		t.Fatalf("tie order = %v", got)
+	}
+}
+
+func TestDelayedWithholdsUntilWindow(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	// Max advance 8s: a job due at t=20s may issue from t=12s.
+	q := NewDeadline(k, 8*sim.Second)
+	var issuedAt sim.Time = -1
+	k.At(0, func() {
+		q.Put(Job{Block: 1, Deadline: sim.Time(20 * sim.Second)})
+	})
+	k.Spawn("w", func(p *sim.Proc) {
+		q.Get(p)
+		issuedAt = p.Now()
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(12 * sim.Second); issuedAt != want {
+		t.Fatalf("issued at %v, want %v (deadline - max advance)", issuedAt, want)
+	}
+}
+
+func TestDelayedIssuesImmediatelyInsideWindow(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	q := NewDeadline(k, 8*sim.Second)
+	var issuedAt sim.Time = -1
+	k.At(sim.Time(15*sim.Second), func() {
+		q.Put(Job{Block: 1, Deadline: sim.Time(20 * sim.Second)}) // already within 8s
+	})
+	k.Spawn("w", func(p *sim.Proc) {
+		q.Get(p)
+		issuedAt = p.Now()
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(15 * sim.Second); issuedAt != want {
+		t.Fatalf("issued at %v, want %v", issuedAt, want)
+	}
+}
+
+func TestDelayedUrgentArrivalPreemptsParkedTimer(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	q := NewDeadline(k, 4*sim.Second)
+	var got []int
+	var times []sim.Time
+	k.Spawn("w", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			j := q.Get(p)
+			got = append(got, j.Block)
+			times = append(times, p.Now())
+		}
+	})
+	k.At(0, func() {
+		q.Put(Job{Block: 1, Deadline: sim.Time(100 * sim.Second)}) // releases at 96s
+	})
+	// At t=10s an urgent job arrives (releases at 16s): it must be served
+	// first, long before the original timer.
+	k.At(sim.Time(10*sim.Second), func() {
+		q.Put(Job{Block: 2, Deadline: sim.Time(20 * sim.Second)})
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("order = %v, urgent job must issue first", got)
+	}
+	if times[0] != sim.Time(16*sim.Second) {
+		t.Fatalf("urgent issued at %v, want 16s", times[0])
+	}
+	if times[1] != sim.Time(96*sim.Second) {
+		t.Fatalf("lazy issued at %v, want 96s", times[1])
+	}
+}
+
+func TestMultipleWorkersDrainQueue(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	q := NewDeadline(k, 0)
+	served := 0
+	for w := 0; w < 3; w++ {
+		k.Spawn("w", func(p *sim.Proc) {
+			for {
+				q.Get(p)
+				served++
+				p.Sleep(10)
+			}
+		})
+	}
+	k.At(0, func() {
+		for i := 0; i < 10; i++ {
+			q.Put(Job{Block: i, Deadline: sim.Time(i)})
+		}
+	})
+	if err := k.Run(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if served != 10 {
+		t.Fatalf("served = %d, want 10", served)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue len = %d", q.Len())
+	}
+}
+
+func TestConfigNewQueue(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	if _, ok := (Config{Mode: ModeBasic}).NewQueue(k).(*FIFO); !ok {
+		t.Fatal("basic mode should build FIFO")
+	}
+	q, ok := (Config{Mode: ModeRealTime}).NewQueue(k).(*Deadline)
+	if !ok || q.MaxAdvance() != 0 {
+		t.Fatal("real-time mode should build ungated deadline queue")
+	}
+	dq, ok := (Config{Mode: ModeDelayed, MaxAdvance: 8 * sim.Second}).NewQueue(k).(*Deadline)
+	if !ok || dq.MaxAdvance() != 8*sim.Second {
+		t.Fatal("delayed mode should carry max advance")
+	}
+}

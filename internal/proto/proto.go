@@ -1,0 +1,32 @@
+// Package proto defines the messages exchanged between video terminals
+// and video-server nodes. SPIFFI's decentralized design (§5.2) means a
+// terminal computes the owning node and disk itself and sends the request
+// straight there; there is no intermediary and no global page-mapping
+// service, so the protocol is just a request and a data reply.
+package proto
+
+import "spiffi/internal/sim"
+
+// RequestHeaderBytes is the wire size of a block request message.
+const RequestHeaderBytes = 64
+
+// ReplyHeaderBytes is the wire overhead of a data reply, added to the
+// block payload.
+const ReplyHeaderBytes = 64
+
+// BlockRequest asks a node for one stripe block of one video.
+type BlockRequest struct {
+	Video    int
+	Block    int
+	Size     int64    // expected payload size (one stripe block)
+	Deadline sim.Time // completion deadline to avoid a glitch (§5.2.2)
+	Terminal int
+
+	// Deliver is invoked in simulation context when the data reply
+	// reaches the requesting terminal.
+	Deliver func(*BlockRequest)
+
+	// Issued records when the terminal sent the request (response-time
+	// statistics).
+	Issued sim.Time
+}

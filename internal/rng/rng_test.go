@@ -1,0 +1,200 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDerivedStreamsIndependent(t *testing.T) {
+	root := New(42)
+	a := root.Derive("disks")
+	b := root.Derive("terminals")
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("derived streams collided %d times", same)
+	}
+}
+
+func TestDeriveIsStable(t *testing.T) {
+	a := New(7).Derive("x").Uint64()
+	b := New(7).Derive("x").Uint64()
+	if a != b {
+		t.Fatal("Derive not stable for equal (seed, name)")
+	}
+}
+
+func TestDeriveIndexedDistinct(t *testing.T) {
+	root := New(1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		v := root.DeriveIndexed("video", i).Uint64()
+		if seen[v] {
+			t.Fatalf("indexed stream %d collided", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Fatalf("bucket %d count %d deviates >5%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnBoundsProperty(t *testing.T) {
+	s := New(5)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpMeanAndVariance(t *testing.T) {
+	s := New(19)
+	const mean, draws = 250.0, 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := s.Exp(mean)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / draws
+	if math.Abs(m-mean)/mean > 0.02 {
+		t.Fatalf("sample mean %v deviates from %v", m, mean)
+	}
+	variance := sumSq/draws - m*m
+	if math.Abs(variance-mean*mean)/(mean*mean) > 0.05 {
+		t.Fatalf("sample variance %v deviates from %v", variance, mean*mean)
+	}
+}
+
+func TestZipfPMFSumsToOne(t *testing.T) {
+	for _, z := range []float64{0, 0.5, 1.0, 1.5} {
+		zf := NewZipf(64, z)
+		sum := 0.0
+		for i := 0; i < 64; i++ {
+			sum += zf.PMF(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("z=%v: PMF sums to %v", z, sum)
+		}
+	}
+}
+
+func TestZipfMonotoneNonIncreasing(t *testing.T) {
+	zf := NewZipf(64, 1.0)
+	for i := 1; i < 64; i++ {
+		if zf.PMF(i) > zf.PMF(i-1)+1e-12 {
+			t.Fatalf("PMF increases at %d", i)
+		}
+	}
+}
+
+func TestZipfZeroIsUniform(t *testing.T) {
+	zf := NewZipf(10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(zf.PMF(i)-0.1) > 1e-9 {
+			t.Fatalf("z=0 PMF(%d) = %v, want 0.1", i, zf.PMF(i))
+		}
+	}
+}
+
+// The paper's Figure 8 shape: with z=1 over 64 videos the most popular
+// video draws about 21% of requests; with z=1.5 about 38%.
+func TestZipfPaperFigure8Shape(t *testing.T) {
+	if p := NewZipf(64, 1.0).PMF(0); p < 0.19 || p > 0.23 {
+		t.Fatalf("z=1.0 top-video probability %v, want ~0.21", p)
+	}
+	if p := NewZipf(64, 1.5).PMF(0); p < 0.38 || p > 0.46 {
+		t.Fatalf("z=1.5 top-video probability %v, want ~0.42", p)
+	}
+	if p := NewZipf(64, 0.5).PMF(0); p < 0.06 || p > 0.10 {
+		t.Fatalf("z=0.5 top-video probability %v, want ~0.08", p)
+	}
+}
+
+func TestZipfDrawMatchesPMF(t *testing.T) {
+	zf := NewZipf(16, 1.0)
+	s := New(77)
+	const draws = 200000
+	counts := make([]int, 16)
+	for i := 0; i < draws; i++ {
+		counts[zf.Draw(s)]++
+	}
+	for i := 0; i < 16; i++ {
+		got := float64(counts[i]) / draws
+		want := zf.PMF(i)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("item %d frequency %v, PMF %v", i, got, want)
+		}
+	}
+}
+
+func TestZipfDrawInRangeProperty(t *testing.T) {
+	zf := NewZipf(64, 1.0)
+	s := New(13)
+	f := func(_ uint8) bool {
+		v := zf.Draw(s)
+		return v >= 0 && v < 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	zf := NewZipf(256, 1.0)
+	s := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zf.Draw(s)
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Exp(16667)
+	}
+}

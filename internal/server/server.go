@@ -1,0 +1,287 @@
+// Package server implements a SPIFFI video-server node (§5.2): a CPU,
+// a slice of the server's memory managed as a buffer pool, a set of
+// disks, and the request-handling logic. SPIFFI is decentralized —
+// terminals address the owning node directly — so a node only ever
+// touches its own disks and its own buffer pool.
+//
+// Demand flow: receive (CPU cost) → buffer pool acquire → on miss,
+// start-I/O (CPU cost) and a scheduled disk read → reply (CPU send cost,
+// wire delay). Every demand reference also enqueues a prefetch for the
+// video's next stripe block on the same disk (§5.2.3).
+package server
+
+import (
+	"fmt"
+
+	"spiffi/internal/bufferpool"
+	"spiffi/internal/cpu"
+	"spiffi/internal/disk"
+	"spiffi/internal/dsched"
+	"spiffi/internal/layout"
+	"spiffi/internal/network"
+	"spiffi/internal/prefetch"
+	"spiffi/internal/proto"
+	"spiffi/internal/rng"
+	"spiffi/internal/sim"
+)
+
+// farFuture pins requests without meaningful deadlines (basic prefetches
+// under non-real-time scheduling) to the lowest priority class.
+const farFuture = sim.Time(1 << 62)
+
+// Config carries per-node configuration.
+type Config struct {
+	PoolPages   int
+	Replacement bufferpool.PolicyKind
+	Sched       dsched.Config
+	Prefetch    prefetch.Config
+	MIPS        float64
+	CPUCosts    cpu.Costs
+	DiskParams  disk.Params
+
+	// ZonedDisks, when non-nil, replaces constant-cylinder drives with
+	// zoned-bit-recording geometry (ablation of the paper's §6.2
+	// simplification).
+	ZonedDisks *disk.ZonedParams
+}
+
+// Stats aggregates a node's measurement-window counters.
+type Stats struct {
+	Requests    int64 // demand block requests handled
+	Prefetches  int64 // prefetch disk reads issued
+	DeadlineUps int64 // queued prefetches tightened by a demand arrival
+}
+
+// Node is one video-server node.
+type Node struct {
+	id    int
+	k     *sim.Kernel
+	cfg   Config
+	cpu   *cpu.CPU
+	pool  *bufferpool.Pool
+	disks []*disk.Disk
+	net   *network.Network
+	place *layout.Placement
+
+	queues []prefetch.Queue // one per local disk (nil when prefetch off)
+
+	// inflight tracks queued-or-in-service disk reads by page, so a
+	// demand arrival can tighten the deadline of a pending prefetch
+	// (real-time prefetching, §5.2.3).
+	inflight map[bufferpool.PageID]*dsched.Request
+
+	// stripePlayTime estimates how long one stripe block plays, for the
+	// prefetch deadline estimate.
+	stripePlayTime sim.Duration
+
+	stats Stats
+}
+
+// diskDone is the completion context attached to disk requests.
+type diskDone struct {
+	node *Node
+	id   bufferpool.PageID
+	done *sim.Event
+}
+
+// New builds a node with its CPU, buffer pool, disks and prefetch
+// workers. net delivers replies; place resolves addresses; diskSrcs
+// supplies one random stream per local disk (rotational latency draws);
+// stripePlayTime is the playback duration of one full stripe block.
+func New(
+	k *sim.Kernel,
+	id int,
+	cfg Config,
+	net *network.Network,
+	place *layout.Placement,
+	diskSrcs []*rng.Source,
+	stripePlayTime sim.Duration,
+) *Node {
+	n := &Node{
+		id:             id,
+		k:              k,
+		cfg:            cfg,
+		cpu:            cpu.New(k, id, cfg.MIPS, cfg.CPUCosts),
+		pool:           bufferpool.New(k, cfg.PoolPages, cfg.Replacement.New()),
+		net:            net,
+		place:          place,
+		inflight:       make(map[bufferpool.PageID]*dsched.Request),
+		stripePlayTime: stripePlayTime,
+	}
+	nd := place.DisksPerNode()
+	n.disks = make([]*disk.Disk, nd)
+	for i := 0; i < nd; i++ {
+		global := id*nd + i
+		if cfg.ZonedDisks != nil {
+			n.disks[i] = disk.NewZoned(k, global, *cfg.ZonedDisks, cfg.Sched.New(),
+				diskSrcs[i], n.onDiskComplete)
+		} else {
+			n.disks[i] = disk.New(k, global, cfg.DiskParams, cfg.Sched.New(),
+				diskSrcs[i], n.onDiskComplete)
+		}
+	}
+	if cfg.Prefetch.Mode != prefetch.ModeOff {
+		n.queues = make([]prefetch.Queue, nd)
+		for i := 0; i < nd; i++ {
+			n.queues[i] = cfg.Prefetch.NewQueue(k)
+			for w := 0; w < cfg.Prefetch.WorkersPerDisk; w++ {
+				di := i
+				k.Spawn(fmt.Sprintf("node-%d-disk-%d-prefetch-%d", id, i, w), func(p *sim.Proc) {
+					n.prefetchWorker(p, di)
+				})
+			}
+		}
+	}
+	return n
+}
+
+// ID returns the node index.
+func (n *Node) ID() int { return n.id }
+
+// CPU exposes the node CPU (utilization reporting).
+func (n *Node) CPU() *cpu.CPU { return n.cpu }
+
+// Pool exposes the node's buffer pool (statistics).
+func (n *Node) Pool() *bufferpool.Pool { return n.pool }
+
+// Disks exposes the node's disks (statistics).
+func (n *Node) Disks() []*disk.Disk { return n.disks }
+
+// Stats returns a copy of the node counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// ResetStats restarts the measurement window on the node and everything
+// it owns.
+func (n *Node) ResetStats() {
+	n.stats = Stats{}
+	n.cpu.ResetStats()
+	n.pool.ResetStats()
+	for _, d := range n.disks {
+		d.ResetStats()
+	}
+}
+
+// DeliverRequest accepts a block request off the network (kernel
+// context) and spawns a handler process for it.
+func (n *Node) DeliverRequest(req *proto.BlockRequest) {
+	n.k.Spawn(fmt.Sprintf("node-%d-handler", n.id), func(p *sim.Proc) {
+		n.handle(p, req)
+	})
+}
+
+// handle services one demand request.
+func (n *Node) handle(p *sim.Proc, req *proto.BlockRequest) {
+	n.cpu.Receive(p)
+	n.stats.Requests++
+	id := bufferpool.PageID{Video: req.Video, Block: req.Block}
+	addr := n.place.Locate(req.Video, req.Block)
+	if addr.Node != n.id {
+		panic("server: misrouted block request")
+	}
+
+	pg, out := n.pool.Acquire(p, id, req.Terminal, false)
+	switch out {
+	case bufferpool.MustFetch:
+		n.readBlock(p, pg, addr, req.Deadline, req.Terminal, false)
+	case bufferpool.InFlight:
+		// A prefetch (or another terminal's fetch) is already on its
+		// way; tighten its queued deadline to the real one (§5.2.3).
+		if dr, ok := n.inflight[id]; ok && req.Deadline < dr.Deadline {
+			dr.Deadline = req.Deadline
+			n.stats.DeadlineUps++
+		}
+		pg.Ready.Wait(p)
+	case bufferpool.Hit:
+		// Data already buffered.
+	}
+
+	// Every real reference triggers a prefetch of the video's next
+	// stripe block on this same disk (§5.2.3).
+	n.triggerPrefetch(req, addr)
+
+	n.cpu.Send(p)
+	n.net.Send(req.Size+proto.ReplyHeaderBytes, func() { req.Deliver(req) })
+	n.pool.Unpin(pg)
+}
+
+// readBlock performs a disk read for an acquired MustFetch page and
+// marks it valid. Caller keeps the pin.
+func (n *Node) readBlock(p *sim.Proc, pg *bufferpool.Page, addr layout.Address, deadline sim.Time, term int, isPrefetch bool) {
+	n.cpu.StartIO(p)
+	done := sim.NewEvent(n.k)
+	dr := &dsched.Request{
+		Offset:   addr.Offset,
+		Size:     addr.Size,
+		Deadline: deadline,
+		Terminal: term,
+		Prefetch: isPrefetch,
+		Data:     &diskDone{node: n, id: pg.ID, done: done},
+	}
+	n.inflight[pg.ID] = dr
+	n.disks[addr.Disk].Submit(dr)
+	done.Wait(p)
+	n.pool.FetchComplete(pg)
+}
+
+// onDiskComplete runs in simulation context when a disk read finishes.
+func (n *Node) onDiskComplete(r *dsched.Request) {
+	ctx := r.Data.(*diskDone)
+	if n.inflight[ctx.id] == r {
+		delete(n.inflight, ctx.id)
+	}
+	ctx.done.Fire()
+}
+
+// triggerPrefetch enqueues a prefetch for the next block of req's video
+// on the same disk, with an estimated deadline (§5.2.3): the real
+// request's deadline plus the playback time of the intervening stripe
+// blocks (one per disk in the stripe set).
+func (n *Node) triggerPrefetch(req *proto.BlockRequest, addr layout.Address) {
+	if n.queues == nil {
+		return
+	}
+	next, ok := n.place.NextBlockOnSameDisk(req.Video, req.Block)
+	if !ok {
+		return
+	}
+	id := bufferpool.PageID{Video: req.Video, Block: next}
+	if n.pool.Contains(id) {
+		return
+	}
+	step := next - req.Block
+	est := req.Deadline + sim.Time(step)*sim.Time(n.stripePlayTime)
+	n.queues[addr.Disk].Put(prefetch.Job{
+		Video:    req.Video,
+		Block:    next,
+		Deadline: est,
+	})
+}
+
+// prefetchWorker drains one disk's prefetch queue (§5.2.3). The number
+// of workers per disk sets prefetch aggressiveness; workers blocked on
+// buffer frames throttle naturally when memory is scarce.
+func (n *Node) prefetchWorker(p *sim.Proc, diskIdx int) {
+	q := n.queues[diskIdx]
+	for {
+		job := q.Get(p)
+		id := bufferpool.PageID{Video: job.Video, Block: job.Block}
+		if n.pool.Contains(id) {
+			continue
+		}
+		pg, out := n.pool.Acquire(p, id, -1, true)
+		if out != bufferpool.MustFetch {
+			n.pool.Unpin(pg)
+			continue
+		}
+		deadline := job.Deadline
+		if !n.cfg.Sched.IsRealTime() {
+			// Without deadline-aware scheduling the estimate is unused;
+			// park prefetches behind everything just in case.
+			deadline = farFuture
+		}
+		addr := n.place.Locate(job.Video, job.Block)
+		n.stats.Prefetches++
+		n.readBlock(p, pg, addr, deadline, -1, true)
+		n.pool.Unpin(pg)
+	}
+}

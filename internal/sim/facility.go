@@ -1,0 +1,98 @@
+package sim
+
+// Facility is a single server with a FIFO queue, the CSIM notion used here
+// to model CPUs. A process holds the facility for a service duration;
+// contenders queue in arrival order. Utilization statistics are tracked
+// against a measurement window that can be reset (to discard warm-up).
+type Facility struct {
+	k    *Kernel
+	name string
+
+	busy  bool
+	queue []*Proc
+
+	busyStart   Time // valid when busy
+	windowStart Time
+	busyTime    Duration
+	served      int64
+	queuedPeak  int
+}
+
+// NewFacility creates an idle facility.
+func NewFacility(k *Kernel, name string) *Facility {
+	return &Facility{k: k, name: name}
+}
+
+// Use acquires the facility FIFO, holds it for d, and releases it.
+func (f *Facility) Use(p *Proc, d Duration) {
+	f.Acquire(p)
+	p.Sleep(d)
+	f.Release()
+}
+
+// Acquire takes ownership of the facility, queueing FIFO behind current
+// users. Ownership is handed directly to the head waiter on release, so
+// later arrivals can never barge.
+func (f *Facility) Acquire(p *Proc) {
+	if f.busy {
+		f.queue = append(f.queue, p)
+		if len(f.queue) > f.queuedPeak {
+			f.queuedPeak = len(f.queue)
+		}
+		p.Block()
+		// Ownership was transferred to us by Release; busy stays true.
+		return
+	}
+	f.busy = true
+	f.busyStart = f.k.now
+}
+
+// Release gives up ownership. If waiters are queued the facility stays
+// busy and the head waiter becomes the owner.
+func (f *Facility) Release() {
+	f.served++
+	if len(f.queue) > 0 {
+		w := f.queue[0]
+		copy(f.queue, f.queue[1:])
+		f.queue = f.queue[:len(f.queue)-1]
+		f.k.Wake(w)
+		return
+	}
+	f.busy = false
+	f.busyTime += f.k.now.Sub(f.busyStart)
+}
+
+// ResetStats restarts the utilization window at the current time,
+// discarding accumulated busy time (used to exclude warm-up).
+func (f *Facility) ResetStats() {
+	f.busyTime = 0
+	f.served = 0
+	f.queuedPeak = 0
+	f.windowStart = f.k.now
+	if f.busy {
+		f.busyStart = f.k.now
+	}
+}
+
+// Utilization reports the fraction of the measurement window the facility
+// was busy, in [0, 1].
+func (f *Facility) Utilization() float64 {
+	window := f.k.now.Sub(f.windowStart)
+	if window <= 0 {
+		return 0
+	}
+	busy := f.busyTime
+	if f.busy {
+		busy += f.k.now.Sub(f.busyStart)
+	}
+	return float64(busy) / float64(window)
+}
+
+// Served reports the number of completed service periods in the window.
+func (f *Facility) Served() int64 { return f.served }
+
+// QueuedPeak reports the maximum queue length observed in the window.
+func (f *Facility) QueuedPeak() int { return f.queuedPeak }
+
+// Name returns the facility's diagnostic name.
+func (f *Facility) Name() string { return f.name }

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrKilled is the panic value used to unwind process goroutines when the
+// kernel shuts down. User code never observes it: the process wrapper
+// recovers it.
+var errKilled = errors.New("sim: process killed by kernel shutdown")
+
+// event is a calendar entry. fn runs in kernel context and must not block;
+// waking a process is done by scheduling its resumption, never inline.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+// Kernel is the simulation executive: an event calendar plus the handoff
+// machinery that lets goroutine-based processes run one at a time.
+//
+// A Kernel is not safe for concurrent use from multiple OS-level
+// goroutines other than via the process protocol; all user logic runs
+// either inside kernel-context event callbacks or inside processes.
+type Kernel struct {
+	now    Time
+	heap   []event
+	seq    uint64
+	events uint64 // total events dispatched
+
+	yield chan struct{} // process -> kernel: "I'm blocked or done"
+
+	live map[*Proc]struct{} // processes that have a parked goroutine
+
+	panicVal   any
+	panicStack []byte
+	closed     bool
+
+	// MaxEvents, when non-zero, aborts Run with an error after that many
+	// events have been dispatched. It is a guard against accidental
+	// infinite event loops in tests.
+	MaxEvents uint64
+}
+
+// NewKernel returns a kernel with time zero and an empty calendar.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Events returns the number of calendar events dispatched so far. It is
+// useful for performance reporting and runaway-loop diagnostics.
+func (k *Kernel) Events() uint64 { return k.events }
+
+// Pending returns the number of events currently on the calendar.
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// At schedules fn to run in kernel context at absolute time t. Scheduling
+// in the past is a programming error and panics. fn must not block.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	k.push(event{t: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run in kernel context d from now.
+func (k *Kernel) After(d Duration, fn func()) { k.At(k.now.Add(d), fn) }
+
+// Run dispatches events in (time, seq) order until the calendar is empty
+// or the next event lies beyond `until`, whichever comes first, then sets
+// the clock to `until`. Events exactly at `until` are dispatched. It
+// returns an error if a process panicked or MaxEvents was exceeded.
+func (k *Kernel) Run(until Time) error {
+	if k.closed {
+		return errors.New("sim: kernel is closed")
+	}
+	for len(k.heap) > 0 {
+		if k.heap[0].t > until {
+			break
+		}
+		ev := k.pop()
+		k.now = ev.t
+		k.events++
+		ev.fn()
+		if k.panicVal != nil {
+			return fmt.Errorf("sim: process panic: %v\n%s", k.panicVal, k.panicStack)
+		}
+		if k.MaxEvents != 0 && k.events > k.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", k.MaxEvents, k.now)
+		}
+	}
+	if until > k.now {
+		k.now = until
+	}
+	return nil
+}
+
+// RunAll dispatches events until the calendar is empty.
+func (k *Kernel) RunAll() error {
+	for len(k.heap) > 0 {
+		if err := k.Run(k.heap[0].t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close terminates every parked process goroutine. It must be called when
+// the kernel is discarded (typically via defer) so repeated simulations do
+// not leak goroutines. After Close the kernel cannot be used.
+func (k *Kernel) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	for p := range k.live {
+		p.kill = true
+		p.resume <- struct{}{}
+		<-k.yield
+	}
+	k.live = nil
+	k.heap = nil
+}
+
+// --- binary min-heap on (t, seq) ---
+
+func (k *Kernel) push(ev event) {
+	k.heap = append(k.heap, ev)
+	i := len(k.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(k.heap[i], k.heap[parent]) {
+			break
+		}
+		k.heap[i], k.heap[parent] = k.heap[parent], k.heap[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) pop() event {
+	top := k.heap[0]
+	n := len(k.heap) - 1
+	k.heap[0] = k.heap[n]
+	k.heap = k.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && less(k.heap[l], k.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && less(k.heap[r], k.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		k.heap[i], k.heap[smallest] = k.heap[smallest], k.heap[i]
+		i = smallest
+	}
+	return top
+}
+
+func less(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) setPanic(v any) {
+	if k.panicVal == nil {
+		k.panicVal = v
+		k.panicStack = debug.Stack()
+	}
+}

@@ -1,0 +1,71 @@
+package stats
+
+import "math"
+
+// Student-t two-sided critical values t_{alpha/2, df} for 90% and 95%
+// confidence, df = 1..30; beyond 30 the normal approximation is used.
+var t90 = [...]float64{
+	6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+	1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+	1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+}
+
+var t95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical returns the two-sided Student-t critical value for the given
+// confidence level (0.90 or 0.95) and degrees of freedom. Other levels
+// fall back to the 90% table; df > 30 uses the normal quantile.
+func TCritical(level float64, df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	table := t90[:]
+	norm := 1.645
+	if level >= 0.95 {
+		table = t95[:]
+		norm = 1.960
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return norm
+}
+
+// Interval is a symmetric confidence interval around a sample mean.
+type Interval struct {
+	Mean      float64
+	HalfWidth float64
+	N         int
+	Level     float64
+}
+
+// ConfidenceInterval computes the Student-t interval for the samples at
+// the given confidence level.
+func ConfidenceInterval(samples []float64, level float64) Interval {
+	var t Tally
+	for _, s := range samples {
+		t.Add(s)
+	}
+	iv := Interval{Mean: t.Mean(), N: int(t.N()), Level: level}
+	if t.N() < 2 {
+		iv.HalfWidth = math.Inf(1)
+		return iv
+	}
+	iv.HalfWidth = TCritical(level, int(t.N())-1) * t.StdDev() / math.Sqrt(float64(t.N()))
+	return iv
+}
+
+// WithinRelative reports whether the interval's half-width is at most
+// frac of its mean — the paper's §7.1 stopping rule is
+// WithinRelative(0.05) at level 0.90. A zero mean only qualifies when the
+// half-width is exactly zero.
+func (iv Interval) WithinRelative(frac float64) bool {
+	if iv.Mean == 0 {
+		return iv.HalfWidth == 0
+	}
+	return iv.HalfWidth <= frac*math.Abs(iv.Mean)
+}

@@ -1,0 +1,621 @@
+// Package terminal implements the SPIFFI video terminal (§5.1): a client
+// with a small memory that primes its buffer, then displays MPEG frames
+// while pipelining stripe-block requests to the server nodes it computes
+// addresses for itself (SPIFFI is decentralized). If the playout buffer
+// runs dry a glitch is recorded and the terminal re-primes before
+// resuming. Terminals assign every request the deadline by which it must
+// complete to avoid a glitch (§5.2.2), support pause/resume (§8.1), and
+// can be piggybacked onto a shared stream via a start coordinator (§8.2).
+//
+// Display is frame-exact but event-compressed: instead of one event per
+// frame, the terminal computes — from the video's byte prefix sums — the
+// exact future instant its buffer runs dry (or frees enough space) and
+// sleeps until then, recomputing as blocks arrive. Observable behaviour
+// (glitch times, buffer occupancy at any instant) is identical to naive
+// per-frame simulation.
+package terminal
+
+import (
+	"fmt"
+
+	"spiffi/internal/layout"
+	"spiffi/internal/mpeg"
+	"spiffi/internal/proto"
+	"spiffi/internal/rng"
+	"spiffi/internal/sim"
+)
+
+// PauseConfig enables the §8.1 pause experiment: each playback pauses
+// MeanPauses times on average (Poisson), each for an exponentially
+// distributed duration with mean MeanDuration, at uniformly random
+// positions in the video.
+type PauseConfig struct {
+	MeanPauses   float64
+	MeanDuration sim.Duration
+}
+
+// StartCoordinator batches terminals that want to start the same video
+// (piggybacking, §8.2). JoinOrLead blocks for the batch delay and reports
+// whether this terminal leads the batch (and must really stream) or rides
+// along on the leader's stream.
+type StartCoordinator interface {
+	JoinOrLead(p *sim.Proc, terminal, video int) (leader bool)
+}
+
+// Config carries the per-terminal parameters.
+type Config struct {
+	MemBytes int64 // playout buffer size (paper: 2 MB)
+
+	// SendLatency and RecvLatency model the terminal-side CPU cost of
+	// message operations (Table 1 instruction counts over the terminal's
+	// dedicated hardware).
+	SendLatency sim.Duration
+	RecvLatency sim.Duration
+
+	Pause *PauseConfig     // nil = no pausing
+	VCR   *VCRConfig       // nil = no rewind/fast-forward activity
+	Gate  StartCoordinator // nil = every terminal streams for itself
+
+	// OnRespTime, when non-nil, observes every block request's round
+	// trip (the assembly feeds a shared latency histogram).
+	OnRespTime func(sim.Duration)
+
+	// RandomInitialPosition starts each terminal's FIRST movie at a
+	// uniformly random position, so the simulated snapshot begins in the
+	// steady state the paper measures (terminals spread across movie
+	// positions) without simulating a full movie-length warm-up.
+	// Subsequent movies always start from the beginning.
+	RandomInitialPosition bool
+}
+
+// Stats aggregates one terminal's counters.
+type Stats struct {
+	Glitches        int64 // glitches inside the measurement window
+	GlitchesTotal   int64 // glitches since simulation start
+	MoviesStarted   int64
+	MoviesCompleted int64
+	BlocksReceived  int64
+	BytesReceived   int64
+	RespTimeSum     sim.Duration // request round-trip accumulation
+	RespTimeMax     sim.Duration
+	Primes          int64 // priming cycles (starts + glitch recoveries)
+
+	// §8.1 interactive-operation counters.
+	Seeks          int64        // rewind/fast-forward operations
+	SkimBlocks     int64        // blocks fetched for visual search
+	StaleDrops     int64        // replies discarded after a reposition
+	SeekRePrimeSum sim.Duration // seek-to-resume latency accumulation
+	SeekRePrimeMax sim.Duration
+}
+
+// Terminal is one subscriber set-top unit.
+type Terminal struct {
+	id    int
+	k     *sim.Kernel
+	cfg   Config
+	lib   *mpeg.Library
+	place *layout.Placement
+	src   *rng.Source
+
+	// send ships a request to a node; wired by the simulation assembly.
+	send func(node int, req *proto.BlockRequest)
+	// selectVideo draws the next movie (Zipf or uniform over the
+	// library); wired by the simulation assembly.
+	selectVideo func() int
+	// measuring gates glitch counting to the measurement window.
+	measuring func() bool
+	// onStarted fires once, when the terminal first begins display.
+	onStarted func()
+
+	// --- current playback ---
+	video   *mpeg.Video
+	vid     int
+	nblocks int
+
+	nextReq        int           // next block index to request
+	frontierBlocks int           // contiguous blocks received
+	frontierBytes  int64         // contiguous stream bytes received
+	ooo            map[int]int64 // out-of-order arrivals: block -> size
+	oooBytes       int64
+	outstanding    int64 // requested, not yet arrived
+
+	playing        bool
+	displayStart   sim.Time // frame f displays at displayStart + f*period
+	consumedFrames int
+
+	pauseFrames []int
+	pauseDurs   []sim.Duration
+	seekFrames  []int
+	seekStarted sim.Time // when the in-progress seek began (for latency)
+
+	playerWait  *sim.Proc // player parked awaiting priming
+	fetcherWait *sim.Proc // fetcher parked awaiting display progress
+	movieChange *sim.Event
+
+	started bool
+	stats   Stats
+}
+
+// New creates a terminal and starts its player and fetcher processes.
+// send, selectVideo, measuring and onStarted wire the terminal into the
+// simulation; onStarted may be nil.
+func New(
+	k *sim.Kernel,
+	id int,
+	cfg Config,
+	lib *mpeg.Library,
+	place *layout.Placement,
+	src *rng.Source,
+	send func(node int, req *proto.BlockRequest),
+	selectVideo func() int,
+	measuring func() bool,
+	onStarted func(),
+) *Terminal {
+	if cfg.MemBytes < place.BlockSize() {
+		panic(fmt.Sprintf("terminal: memory %d smaller than one block %d", cfg.MemBytes, place.BlockSize()))
+	}
+	t := &Terminal{
+		id:          id,
+		k:           k,
+		cfg:         cfg,
+		lib:         lib,
+		place:       place,
+		src:         src,
+		send:        send,
+		selectVideo: selectVideo,
+		measuring:   measuring,
+		onStarted:   onStarted,
+		movieChange: sim.NewEvent(k),
+	}
+	return t
+}
+
+// Start spawns the terminal's processes with the given initial delay
+// (terminals start movies at staggered random times, §6).
+func (t *Terminal) Start(delay sim.Duration) {
+	t.k.SpawnAt(t.k.Now().Add(delay), fmt.Sprintf("term-%d-player", t.id), t.player)
+}
+
+// ID returns the terminal id.
+func (t *Terminal) ID() int { return t.id }
+
+// Stats returns a copy of the terminal's counters.
+func (t *Terminal) Stats() Stats { return t.stats }
+
+// ResetWindowStats zeroes the measurement-window counters (blocks,
+// response times, movies, glitches) while keeping lifetime counters
+// (GlitchesTotal, MoviesStarted).
+func (t *Terminal) ResetWindowStats() {
+	t.stats.Glitches = 0
+	t.stats.BlocksReceived = 0
+	t.stats.BytesReceived = 0
+	t.stats.RespTimeSum = 0
+	t.stats.RespTimeMax = 0
+	t.stats.MoviesCompleted = 0
+	t.stats.Primes = 0
+	t.stats.Seeks = 0
+	t.stats.SkimBlocks = 0
+	t.stats.StaleDrops = 0
+	t.stats.SeekRePrimeSum = 0
+	t.stats.SeekRePrimeMax = 0
+}
+
+// Started reports whether the terminal has begun displaying its first
+// movie (the simulator's warm-up gate, §6).
+func (t *Terminal) Started() bool { return t.started }
+
+// BufferedBytes returns bytes held in terminal memory right now.
+func (t *Terminal) BufferedBytes() int64 {
+	return t.frontierBytes - t.video.BytesBeforeFrame(t.consumedFrames) + t.oooBytes
+}
+
+// --- player process ---
+
+func (t *Terminal) player(p *sim.Proc) {
+	// The fetcher lives for the terminal's whole life; the player signals
+	// it at each movie change.
+	t.k.Spawn(fmt.Sprintf("term-%d-fetcher", t.id), t.fetcher)
+	for {
+		vid := t.selectVideo()
+		if t.cfg.Gate != nil {
+			if leader := t.cfg.Gate.JoinOrLead(p, t.id, vid); !leader {
+				// Piggybacked: ride the leader's stream for the whole
+				// video, placing no demands on the server (§8.2).
+				t.noteStarted()
+				t.stats.MoviesStarted++
+				p.Sleep(t.lib.Get(vid).Duration())
+				t.stats.MoviesCompleted++
+				continue
+			}
+		}
+		t.startMovie(vid)
+		if t.cfg.RandomInitialPosition && t.stats.MoviesStarted == 1 {
+			t.seekToRandomPosition()
+		}
+		t.playMovie(p)
+		t.stats.MoviesCompleted++
+	}
+}
+
+// seekToRandomPosition fast-forwards the freshly selected movie to a
+// random block boundary, as if the terminal had already been watching it
+// — the steady-state snapshot initialization.
+func (t *Terminal) seekToRandomPosition() {
+	if t.nblocks < 2 {
+		return
+	}
+	b0 := t.src.Intn(t.nblocks - 1)
+	t.nextReq = b0
+	t.frontierBlocks = b0
+	t.frontierBytes = int64(b0) * t.place.BlockSize()
+	t.consumedFrames = t.video.FirstIncompleteFrame(t.frontierBytes)
+	// Drop pauses and seeks scheduled before the resume point.
+	for len(t.pauseFrames) > 0 && t.pauseFrames[0] < t.consumedFrames {
+		t.pauseFrames = t.pauseFrames[1:]
+		t.pauseDurs = t.pauseDurs[1:]
+	}
+	for len(t.seekFrames) > 0 && t.seekFrames[0] < t.consumedFrames {
+		t.seekFrames = t.seekFrames[1:]
+	}
+}
+
+// startMovie resets stream state for the selected video.
+func (t *Terminal) startMovie(vid int) {
+	t.vid = vid
+	t.video = t.lib.Get(vid)
+	t.nblocks = t.place.NumBlocks(vid)
+	t.nextReq = 0
+	t.frontierBlocks = 0
+	t.frontierBytes = 0
+	t.ooo = make(map[int]int64)
+	t.oooBytes = 0
+	t.consumedFrames = 0
+	t.playing = false
+	t.drawPauses()
+	t.drawSeeks()
+	t.stats.MoviesStarted++
+	// Wake the fetcher for the new movie.
+	ev := t.movieChange
+	t.movieChange = sim.NewEvent(t.k)
+	ev.Fire()
+}
+
+// stallReason says why displayUntilStall returned.
+type stallReason int
+
+const (
+	stallFinished stallReason = iota // all frames displayed
+	stallGlitch                      // buffer ran dry mid-movie
+	stallSeek                        // user rewind/fast-forward
+)
+
+// playMovie runs prime/display cycles until the video completes.
+func (t *Terminal) playMovie(p *sim.Proc) {
+	for {
+		t.waitPrimed(p)
+		t.stats.Primes++
+		if t.seekStarted != 0 {
+			// The prime that just completed was a seek recovery; record
+			// the user-visible seek-to-resume latency.
+			lat := t.k.Now().Sub(t.seekStarted)
+			t.stats.SeekRePrimeSum += lat
+			if lat > t.stats.SeekRePrimeMax {
+				t.stats.SeekRePrimeMax = lat
+			}
+			t.seekStarted = 0
+		}
+		// Begin (or resume) display at frame consumedFrames.
+		t.playing = true
+		t.displayStart = t.k.Now() - sim.Time(t.consumedFrames)*sim.Time(t.video.FramePeriod())
+		t.noteStarted()
+		t.wakeFetcher()
+		reason := t.displayUntilStall(p)
+		t.playing = false
+		switch reason {
+		case stallFinished:
+			return
+		case stallSeek:
+			t.doSeek(p)
+			// Loop: waitPrimed re-primes at the new position (§8.1).
+		case stallGlitch:
+			// Glitch: the buffer ran dry mid-movie (§5.1). Re-prime
+			// fully before restarting so a second glitch does not
+			// follow at once.
+			t.stats.GlitchesTotal++
+			if t.measuring() {
+				t.stats.Glitches++
+			}
+		}
+	}
+}
+
+// primed reports whether the buffer is as full as the fetcher can make
+// it: nothing outstanding and no room (or no need) for another block.
+// This is the §5.1 "fills or primes its buffers" condition, robust to
+// partial-frame residues and end-of-video tails.
+func (t *Terminal) primed() bool {
+	if t.outstanding > 0 {
+		return false
+	}
+	if t.nextReq < t.nblocks {
+		free := t.cfg.MemBytes - t.BufferedBytes()
+		if free >= t.place.SizeOfBlock(t.vid, t.nextReq) {
+			return false // the fetcher still has room to fill
+		}
+	}
+	// Guard: a "full" buffer must actually contain something displayable
+	// (at least one complete frame past the consumption point), or
+	// resuming would glitch-loop without advancing time. This state is
+	// unreachable in normal operation; blocking here turns a hypothetical
+	// livelock into a visible stall.
+	if t.consumedFrames < t.video.NumFrames() &&
+		t.video.FirstIncompleteFrame(t.frontierBytes) <= t.consumedFrames {
+		return false
+	}
+	return true
+}
+
+// waitPrimed parks the player until the priming target is met; block
+// arrivals wake it.
+func (t *Terminal) waitPrimed(p *sim.Proc) {
+	for !t.primed() {
+		t.playerWait = p
+		p.Block()
+	}
+}
+
+// displayUntilStall advances display until the movie completes, the
+// buffer runs dry, or a scheduled seek takes effect, handling pauses
+// along the way.
+func (t *Terminal) displayUntilStall(p *sim.Proc) stallReason {
+	period := sim.Time(t.video.FramePeriod())
+	for {
+		f := t.video.FirstIncompleteFrame(t.frontierBytes) // stall frame
+
+		// A scheduled seek before the stall point (and before any pause)
+		// interrupts display.
+		if len(t.seekFrames) > 0 && t.seekFrames[0] < f &&
+			(len(t.pauseFrames) == 0 || t.seekFrames[0] <= t.pauseFrames[0]) {
+			sf := t.seekFrames[0]
+			t.seekFrames = t.seekFrames[1:]
+			if sf > t.consumedFrames {
+				p.SleepUntil(t.displayStart + sim.Time(sf)*period)
+				t.syncConsumption()
+			}
+			return stallSeek
+		}
+
+		stallAt := t.displayStart + sim.Time(f)*period
+
+		// A scheduled pause before the stall point takes effect first.
+		if len(t.pauseFrames) > 0 && t.pauseFrames[0] < f {
+			pf := t.pauseFrames[0]
+			dur := t.pauseDurs[0]
+			t.pauseFrames = t.pauseFrames[1:]
+			t.pauseDurs = t.pauseDurs[1:]
+			p.SleepUntil(t.displayStart + sim.Time(pf)*period)
+			t.syncConsumption()
+			t.playing = false
+			p.Sleep(dur)
+			t.playing = true
+			t.displayStart = t.k.Now() - sim.Time(pf)*period
+			t.wakeFetcher()
+			continue
+		}
+
+		p.SleepUntil(stallAt)
+		t.syncConsumption()
+		if f == t.video.NumFrames() {
+			return stallFinished
+		}
+		if t.video.FirstIncompleteFrame(t.frontierBytes) > f {
+			continue // arrivals extended the frontier; keep displaying
+		}
+		return stallGlitch // dry at frame f
+	}
+}
+
+// syncConsumption advances consumedFrames to the current instant.
+func (t *Terminal) syncConsumption() {
+	if !t.playing {
+		return
+	}
+	f := int((t.k.Now() - t.displayStart) / sim.Time(t.video.FramePeriod()))
+	if cap := t.video.FirstIncompleteFrame(t.frontierBytes); f > cap {
+		f = cap
+	}
+	if f > t.consumedFrames {
+		t.consumedFrames = f
+	}
+}
+
+func (t *Terminal) noteStarted() {
+	if !t.started {
+		t.started = true
+		if t.onStarted != nil {
+			t.onStarted()
+		}
+	}
+}
+
+func (t *Terminal) wakeFetcher() {
+	if t.fetcherWait != nil {
+		w := t.fetcherWait
+		t.fetcherWait = nil
+		t.k.Wake(w)
+	}
+}
+
+// drawPauses samples this playback's pause schedule.
+func (t *Terminal) drawPauses() {
+	t.pauseFrames = t.pauseFrames[:0]
+	t.pauseDurs = t.pauseDurs[:0]
+	pc := t.cfg.Pause
+	if pc == nil || pc.MeanPauses <= 0 {
+		return
+	}
+	n := t.poisson(pc.MeanPauses)
+	if n == 0 {
+		return
+	}
+	frames := make([]int, n)
+	for i := range frames {
+		frames[i] = t.src.Intn(t.video.NumFrames())
+	}
+	// Insertion sort (n is tiny) and deduplicate.
+	for i := 1; i < len(frames); i++ {
+		for j := i; j > 0 && frames[j] < frames[j-1]; j-- {
+			frames[j], frames[j-1] = frames[j-1], frames[j]
+		}
+	}
+	for i, fr := range frames {
+		if i > 0 && fr == t.pauseFrames[len(t.pauseFrames)-1] {
+			continue
+		}
+		t.pauseFrames = append(t.pauseFrames, fr)
+		t.pauseDurs = append(t.pauseDurs, sim.Duration(t.src.Exp(float64(pc.MeanDuration))))
+	}
+}
+
+// --- fetcher process ---
+
+func (t *Terminal) fetcher(p *sim.Proc) {
+	for {
+		if t.video == nil || t.nextReq >= t.nblocks {
+			// Nothing left to request for this movie; await the next one.
+			t.movieChange.Wait(p)
+			continue
+		}
+		size := t.place.SizeOfBlock(t.vid, t.nextReq)
+		t.syncConsumption()
+		free := t.cfg.MemBytes - t.BufferedBytes() - t.outstanding
+		if free < size {
+			if !t.playing {
+				// No consumption while primed/paused/stalled: park until
+				// display progresses.
+				t.fetcherWait = p
+				p.Block()
+				continue
+			}
+			t.sleepUntilSpace(p, size-free)
+			continue
+		}
+		t.issue(p, size)
+	}
+}
+
+// sleepUntilSpace waits until display will have freed `need` more bytes.
+func (t *Terminal) sleepUntilSpace(p *sim.Proc, need int64) {
+	period := sim.Time(t.video.FramePeriod())
+	base := t.video.BytesBeforeFrame(t.consumedFrames)
+	// First frame count cf with BytesBeforeFrame(cf) >= base+need.
+	lo, hi := t.consumedFrames, t.video.NumFrames()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.video.BytesBeforeFrame(mid) >= base+need {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	wake := t.displayStart + sim.Time(lo)*period
+	if wake <= t.k.Now() {
+		// Consumption is capped by the frontier (display is about to
+		// stall); park instead of spinning.
+		t.fetcherWait = p
+		p.Block()
+		return
+	}
+	p.SleepUntil(wake)
+}
+
+// issue sends the request for block t.nextReq.
+func (t *Terminal) issue(p *sim.Proc, size int64) {
+	b := t.nextReq
+	t.nextReq++
+	t.outstanding += size
+	addr := t.place.Locate(t.vid, b)
+	req := &proto.BlockRequest{
+		Video:    t.vid,
+		Block:    b,
+		Size:     size,
+		Deadline: t.deadlineFor(b),
+		Terminal: t.id,
+		Deliver:  t.onReply,
+		Issued:   t.k.Now(),
+	}
+	if t.cfg.SendLatency > 0 {
+		p.Sleep(t.cfg.SendLatency)
+	}
+	t.send(addr.Node, req)
+}
+
+// deadlineFor computes the §5.2.2 deadline: the display time of the first
+// byte of block b. While display is stalled the projection assumes
+// display resumes immediately, making priming requests urgent.
+func (t *Terminal) deadlineFor(b int) sim.Time {
+	off := int64(b) * t.place.BlockSize()
+	fo := t.video.FirstIncompleteFrame(off) // frame that needs byte `off`
+	period := sim.Time(t.video.FramePeriod())
+	if t.playing {
+		return t.displayStart + sim.Time(fo)*period
+	}
+	return t.k.Now() + sim.Time(fo-t.consumedFrames)*period
+}
+
+// onReply handles a data reply, in kernel context. The terminal-side
+// receive latency is modeled as a delivery delay.
+func (t *Terminal) onReply(req *proto.BlockRequest) {
+	if t.cfg.RecvLatency > 0 {
+		t.k.After(t.cfg.RecvLatency, func() { t.applyArrival(req) })
+		return
+	}
+	t.applyArrival(req)
+}
+
+func (t *Terminal) applyArrival(req *proto.BlockRequest) {
+	if req.Video != t.vid {
+		panic("terminal: reply for a video no longer playing")
+	}
+	t.outstanding -= req.Size
+	t.stats.BlocksReceived++
+	t.stats.BytesReceived += req.Size
+	rt := t.k.Now().Sub(req.Issued)
+	t.stats.RespTimeSum += rt
+	if rt > t.stats.RespTimeMax {
+		t.stats.RespTimeMax = rt
+	}
+	if t.cfg.OnRespTime != nil {
+		t.cfg.OnRespTime(rt)
+	}
+	_, dup := t.ooo[req.Block]
+	if req.Block < t.frontierBlocks || dup {
+		// Stale block from before a seek repositioned the stream (or a
+		// duplicate): the data is no longer wanted; only the space
+		// accounting mattered. The priming check below must still run —
+		// this arrival may have been the last outstanding one.
+		t.stats.StaleDrops++
+	} else {
+		t.ooo[req.Block] = req.Size
+		t.oooBytes += req.Size
+		for {
+			sz, ok := t.ooo[t.frontierBlocks]
+			if !ok {
+				break
+			}
+			delete(t.ooo, t.frontierBlocks)
+			t.oooBytes -= sz
+			t.frontierBytes += sz
+			t.frontierBlocks++
+		}
+	}
+	if t.playerWait != nil && t.primed() {
+		w := t.playerWait
+		t.playerWait = nil
+		t.k.Wake(w)
+	}
+	// A stale arrival frees space without extending the buffer (the
+	// outstanding count drops), so a parked fetcher must re-evaluate;
+	// it re-parks immediately if nothing changed for it.
+	t.wakeFetcher()
+}

@@ -1,0 +1,136 @@
+package terminal
+
+import (
+	"math"
+
+	"spiffi/internal/proto"
+	"spiffi/internal/sim"
+)
+
+// VCRConfig enables the §8.1 interactive operations beyond pause:
+// rewind and fast-forward. Each playback performs a Poisson-distributed
+// number of seeks at uniformly random positions. A seek jumps an
+// exponentially distributed distance (as a fraction of the video),
+// forward with probability ForwardProb, then re-primes and resumes —
+// the paper's basic scheme. With Skim enabled the terminal additionally
+// implements the paper's "visual search": while traversing to the
+// target it fetches and briefly displays one block out of every
+// SkimStrideBlocks, producing the choppy scan picture without reading
+// the skipped video.
+type VCRConfig struct {
+	MeanSeeksPerMovie float64
+	MeanDistanceFrac  float64 // mean seek distance as a fraction of the video
+	ForwardProb       float64 // probability a seek goes forward (else rewind)
+
+	Skim              bool
+	SkimStrideBlocks  int // sample one block per this many blocks traversed
+	SkimSegmentFrames int // frames displayed per sampled block
+}
+
+// drawSeeks samples this playback's seek schedule (mirrors drawPauses).
+func (t *Terminal) drawSeeks() {
+	t.seekFrames = t.seekFrames[:0]
+	vc := t.cfg.VCR
+	if vc == nil || vc.MeanSeeksPerMovie <= 0 {
+		return
+	}
+	n := t.poisson(vc.MeanSeeksPerMovie)
+	for i := 0; i < n; i++ {
+		t.seekFrames = append(t.seekFrames, t.src.Intn(t.video.NumFrames()))
+	}
+	for i := 1; i < len(t.seekFrames); i++ {
+		for j := i; j > 0 && t.seekFrames[j] < t.seekFrames[j-1]; j-- {
+			t.seekFrames[j], t.seekFrames[j-1] = t.seekFrames[j-1], t.seekFrames[j]
+		}
+	}
+}
+
+// doSeek executes one rewind/fast-forward: optional visual-search skim,
+// then repositioning. The caller (playMovie) re-primes afterwards.
+func (t *Terminal) doSeek(p *sim.Proc) {
+	vc := t.cfg.VCR
+	blockSize := t.place.BlockSize()
+	cur := int(t.video.BytesBeforeFrame(t.consumedFrames) / blockSize)
+
+	distBlocks := int(t.src.Exp(vc.MeanDistanceFrac * float64(t.nblocks)))
+	if distBlocks < 1 {
+		distBlocks = 1
+	}
+	dir := 1
+	if t.src.Float64() >= vc.ForwardProb {
+		dir = -1
+	}
+	target := cur + dir*distBlocks
+	if target < 0 {
+		target = 0
+	}
+	if target > t.nblocks-2 {
+		target = t.nblocks - 2
+	}
+
+	t.stats.Seeks++
+	t.seekStarted = t.k.Now()
+
+	if vc.Skim && vc.SkimStrideBlocks > 0 && target != cur {
+		step := vc.SkimStrideBlocks * dir
+		for b := cur + step; (dir > 0 && b < target) || (dir < 0 && b > target); b += step {
+			t.fetchSkimBlock(p, b)
+		}
+	}
+	t.repositionTo(target)
+}
+
+// fetchSkimBlock fetches one sampled block for the visual search and
+// "displays" its segment. The block bypasses the playout buffer — it is
+// shown immediately and discarded, like a scrub preview.
+func (t *Terminal) fetchSkimBlock(p *sim.Proc, block int) {
+	addr := t.place.Locate(t.vid, block)
+	done := sim.NewEvent(t.k)
+	segTime := sim.Duration(t.cfg.VCR.SkimSegmentFrames) * t.video.FramePeriod()
+	req := &proto.BlockRequest{
+		Video:    t.vid,
+		Block:    block,
+		Size:     t.place.SizeOfBlock(t.vid, block),
+		Deadline: t.k.Now().Add(segTime),
+		Terminal: t.id,
+		Deliver:  func(*proto.BlockRequest) { done.Fire() },
+		Issued:   t.k.Now(),
+	}
+	if t.cfg.SendLatency > 0 {
+		p.Sleep(t.cfg.SendLatency)
+	}
+	t.send(addr.Node, req)
+	done.Wait(p)
+	t.stats.SkimBlocks++
+	p.Sleep(segTime)
+}
+
+// repositionTo moves the playback position to a block boundary and
+// discards all buffered data — the paper's §8.1 semantics: a seek
+// re-primes the terminal's buffers from the new position. Replies still
+// in flight for the old position are dropped on arrival (StaleDrops).
+func (t *Terminal) repositionTo(block int) {
+	blockSize := t.place.BlockSize()
+	t.frontierBlocks = block
+	t.frontierBytes = int64(block) * blockSize
+	// A backward seek re-reads; a forward seek skips. Either way the
+	// stream restarts cleanly at the target: no stale out-of-order
+	// fragments, and the fetcher resumes from the new frontier.
+	t.ooo = make(map[int]int64)
+	t.oooBytes = 0
+	t.nextReq = block
+	t.consumedFrames = t.video.FirstIncompleteFrame(t.frontierBytes)
+	t.wakeFetcher()
+}
+
+// poisson draws from Poisson(mean) by Knuth's method.
+func (t *Terminal) poisson(mean float64) int {
+	n := 0
+	limit := math.Exp(-mean)
+	prod := t.src.Float64()
+	for prod > limit {
+		n++
+		prod *= t.src.Float64()
+	}
+	return n
+}

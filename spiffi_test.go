@@ -1,0 +1,86 @@
+// Tests of the public API surface.
+package spiffi_test
+
+import (
+	"testing"
+
+	"spiffi"
+)
+
+func fastConfig(terminals int) spiffi.Config {
+	cfg := spiffi.DefaultConfig(terminals)
+	cfg.Nodes = 2
+	cfg.DisksPerNode = 2
+	cfg.VideosPerDisk = 4
+	cfg.ServerMemBytes = 64 * spiffi.MB
+	cfg.Video.Length = 2 * spiffi.Minute
+	cfg.StartWindow = 10 * spiffi.Second
+	cfg.MeasureTime = 45 * spiffi.Second
+	return cfg
+}
+
+func TestDefaultConfigMatchesPaperBase(t *testing.T) {
+	cfg := spiffi.DefaultConfig(200)
+	if cfg.Nodes != 4 || cfg.DisksPerNode != 4 {
+		t.Fatal("base system is 4 CPUs x 4 disks")
+	}
+	if cfg.NumVideos() != 64 {
+		t.Fatalf("videos = %d, want 64", cfg.NumVideos())
+	}
+	if cfg.StripeBytes != 512*spiffi.KB {
+		t.Fatal("stripe size")
+	}
+	if cfg.ServerMemBytes != 4*spiffi.GB || cfg.TerminalMemBytes != 2*spiffi.MB {
+		t.Fatal("memory defaults")
+	}
+	if cfg.Video.BitRate != 4_000_000 {
+		t.Fatal("bit rate")
+	}
+	if cfg.ZipfZ != 1.0 {
+		t.Fatal("zipf default")
+	}
+}
+
+func TestPublicRun(t *testing.T) {
+	m, err := spiffi.Run(fastConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.GlitchFree() {
+		t.Fatalf("light load glitched: %+v", m)
+	}
+}
+
+func TestPublicSearch(t *testing.T) {
+	res, err := spiffi.FindMaxTerminals(fastConfig(1), spiffi.SearchOptions{Step: 16, Hi: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxTerminals <= 0 {
+		t.Fatal("no capacity found")
+	}
+}
+
+func TestSchedConstructors(t *testing.T) {
+	rt := spiffi.RealTimeSched(3, 4*spiffi.Second)
+	if rt.Kind != spiffi.SchedRealTime || rt.Classes != 3 || rt.Spacing != 4*spiffi.Second {
+		t.Fatalf("RealTimeSched = %+v", rt)
+	}
+	g := spiffi.GSSSched(2)
+	if g.Kind != spiffi.SchedGSS || g.Groups != 2 {
+		t.Fatalf("GSSSched = %+v", g)
+	}
+	if rt.String() != "real-time(3,4s)" {
+		t.Fatalf("String = %q", rt.String())
+	}
+}
+
+func TestGlitchCurvePublic(t *testing.T) {
+	curve, err := spiffi.GlitchCurve(fastConfig(1), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[8] != 0 {
+		t.Fatalf("8 terminals glitched %d times", curve[8])
+	}
+}
