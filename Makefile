@@ -1,0 +1,27 @@
+# Tier-1 verification for the SPIFFI simulator. `make verify` is what CI
+# (and pre-commit discipline) runs: build, vet, the full test suite, and
+# a race-detector pass in short mode (the simulation-heavy experiment
+# tests skip themselves under -short; everything concurrent still runs).
+
+GO ?= go
+
+.PHONY: all build vet test race verify bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+verify: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

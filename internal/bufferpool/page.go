@@ -41,6 +41,12 @@ type Page struct {
 	// referenced by any terminal).
 	prefetched bool
 
+	// defunct marks a page whose fetch failed (disk fail-stop): it has
+	// been removed from the table and the policy, its frame returned to
+	// the free list. Waiters woken by Ready must check Valid() — false
+	// means the read died. Remaining Unpins on a defunct page are no-ops.
+	defunct bool
+
 	// refBy lists terminals that have demand-referenced this page while
 	// resident, for the paper's Figure 16 sharing statistic. Videos are
 	// shared by at most a handful of terminals at once, so a small slice

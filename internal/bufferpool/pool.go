@@ -42,6 +42,7 @@ type Stats struct {
 	PrefetchSkip int64 // prefetches dropped because the page was resident
 	Evictions    int64
 	AllocWaits   int64 // times an acquire blocked waiting for a frame
+	FetchFails   int64 // fetches aborted because the disk fail-stopped
 }
 
 // SharedFraction returns SharedRefs/DemandRefs (Figure 16's metric).
@@ -183,26 +184,56 @@ func (b *Pool) evict(pg *Page) {
 // FetchComplete marks the page's data as arrived and wakes processes
 // waiting on Page.Ready. The caller still holds its pin.
 func (b *Pool) FetchComplete(pg *Page) {
-	if pg.state != stateFetching {
+	if pg.state != stateFetching || pg.defunct {
 		panic("bufferpool: FetchComplete on non-fetching page")
 	}
 	pg.state = stateValid
 	pg.Ready.Fire()
 }
 
+// FetchFailed aborts an outstanding fetch whose disk read died (the drive
+// fail-stopped). The page is removed from the table and the policy so a
+// later acquire of the same block allocates a fresh frame; its frame
+// returns to the free list; Ready fires so in-flight waiters wake — they
+// must check Page.Valid() and treat false as a failed read. The caller and
+// any waiters still Unpin as usual (no-ops on the defunct page).
+func (b *Pool) FetchFailed(pg *Page) {
+	if pg.state != stateFetching || pg.defunct {
+		panic("bufferpool: FetchFailed on non-fetching page")
+	}
+	pg.defunct = true
+	b.policy.OnEvict(pg)
+	delete(b.table, pg.ID)
+	b.free++
+	b.stats.FetchFails++
+	b.wakeWaiter()
+	pg.Ready.Fire()
+}
+
 // Unpin releases one pin. When a page becomes evictable, one frame
 // waiter is woken to retry its allocation.
 func (b *Pool) Unpin(pg *Page) {
+	if pg.defunct {
+		return // frame already reclaimed by FetchFailed
+	}
 	if pg.pin <= 0 {
 		panic("bufferpool: unpin of unpinned page")
 	}
 	pg.pin--
-	if pg.evictable() && len(b.waiters) > 0 {
-		w := b.waiters[0]
-		copy(b.waiters, b.waiters[1:])
-		b.waiters = b.waiters[:len(b.waiters)-1]
-		b.k.Wake(w)
+	if pg.evictable() {
+		b.wakeWaiter()
 	}
+}
+
+// wakeWaiter unblocks the oldest process waiting for a frame, if any.
+func (b *Pool) wakeWaiter() {
+	if len(b.waiters) == 0 {
+		return
+	}
+	w := b.waiters[0]
+	copy(b.waiters, b.waiters[1:])
+	b.waiters = b.waiters[:len(b.waiters)-1]
+	b.k.Wake(w)
 }
 
 // Stats returns a copy of the window counters.

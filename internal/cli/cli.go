@@ -10,6 +10,7 @@ import (
 	"spiffi/internal/bufferpool"
 	"spiffi/internal/core"
 	"spiffi/internal/dsched"
+	"spiffi/internal/faults"
 	"spiffi/internal/prefetch"
 	"spiffi/internal/sim"
 	"spiffi/internal/terminal"
@@ -41,6 +42,20 @@ type Flags struct {
 	PiggyS     *float64
 	VCRSeeks   *float64
 	VCRSkim    *bool
+
+	// Fault injection & degraded-mode operation.
+	FaultDiskSlow  *float64
+	FaultSlowFac   *float64
+	FaultDiskFail  *float64
+	FaultRepairS   *float64
+	FaultNodeCrash *float64
+	FaultRestartS  *float64
+	FaultNetLoss   *float64
+	FaultJitterMS  *float64
+	Mirror         *bool
+	ReqTimeoutS    *float64
+	Retries        *int
+	BackoffMS      *float64
 }
 
 // Register installs the common flags on fs.
@@ -70,6 +85,19 @@ func Register(fs *flag.FlagSet) *Flags {
 		PiggyS:     fs.Float64("piggyback", 0, "piggyback start delay in seconds (0 = off)"),
 		VCRSeeks:   fs.Float64("vcr", 0, "mean rewind/fast-forward seeks per movie (0 = off)"),
 		VCRSkim:    fs.Bool("vcrskim", false, "seeks use the visual-search skim scheme"),
+
+		FaultDiskSlow:  fs.Float64("faultdiskslow", 0, "transient disk slowdowns per disk-hour (0 = off)"),
+		FaultSlowFac:   fs.Float64("faultslowfactor", 4, "service-time multiplier during a disk slowdown"),
+		FaultDiskFail:  fs.Float64("faultdiskfail", 0, "disk fail-stops per disk-hour (0 = off)"),
+		FaultRepairS:   fs.Float64("faultrepair", 30, "disk repair time in seconds (0 = permanent)"),
+		FaultNodeCrash: fs.Float64("faultnodecrash", 0, "node crashes per node-hour (0 = off)"),
+		FaultRestartS:  fs.Float64("faultrestart", 60, "node restart time in seconds (0 = permanent)"),
+		FaultNetLoss:   fs.Float64("faultnetloss", 0, "per-message network drop probability (0 = off)"),
+		FaultJitterMS:  fs.Float64("faultnetjitter", 0, "max extra network latency in ms (0 = off)"),
+		Mirror:         fs.Bool("mirror", false, "store a declustered replica of every video"),
+		ReqTimeoutS:    fs.Float64("reqtimeout", 0, "terminal request timeout in seconds (0 = default when faults on)"),
+		Retries:        fs.Int("retries", 0, "max retries per block (0 = default when faults on)"),
+		BackoffMS:      fs.Float64("backoff", 0, "first retry backoff in ms, doubling per retry (0 = default)"),
 	}
 }
 
@@ -153,6 +181,21 @@ func (f *Flags) Config() (core.Config, error) {
 			cfg.VCR.SkimSegmentFrames = 30
 		}
 	}
+
+	cfg.Faults = faults.Config{
+		DiskSlowRate:    *f.FaultDiskSlow,
+		DiskSlowFactor:  *f.FaultSlowFac,
+		DiskFailRate:    *f.FaultDiskFail,
+		DiskRepairTime:  sim.DurationOfSeconds(*f.FaultRepairS),
+		NodeCrashRate:   *f.FaultNodeCrash,
+		NodeRestartTime: sim.DurationOfSeconds(*f.FaultRestartS),
+		NetLossProb:     *f.FaultNetLoss,
+		NetJitterMax:    sim.DurationOfSeconds(*f.FaultJitterMS / 1000),
+	}
+	cfg.ReplicateVideos = *f.Mirror
+	cfg.RequestTimeout = sim.DurationOfSeconds(*f.ReqTimeoutS)
+	cfg.MaxRetries = *f.Retries
+	cfg.RetryBackoff = sim.DurationOfSeconds(*f.BackoffMS / 1000)
 	return cfg, nil
 }
 

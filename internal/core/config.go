@@ -14,6 +14,7 @@ import (
 	"spiffi/internal/cpu"
 	"spiffi/internal/disk"
 	"spiffi/internal/dsched"
+	"spiffi/internal/faults"
 	"spiffi/internal/mpeg"
 	"spiffi/internal/network"
 	"spiffi/internal/prefetch"
@@ -82,6 +83,24 @@ type Config struct {
 	// for every terminal to begin display before declaring the
 	// configuration overloaded.
 	StartupGrace sim.Duration
+
+	// Faults configures fault injection (disk slowdowns and fail-stops,
+	// node crashes, network loss/jitter). The zero value injects nothing
+	// and reproduces fault-free runs bit for bit.
+	Faults faults.Config
+
+	// ReplicateVideos stores a second, declustered copy of every video
+	// (each block's replica on the next disk), letting terminals fail
+	// over around a dead disk. Doubles per-disk space.
+	ReplicateVideos bool
+
+	// RequestTimeout/MaxRetries/RetryBackoff configure the terminals'
+	// degraded-mode retry machinery. A zero RequestTimeout disables it
+	// entirely (no timers are armed); Normalize fills all three with
+	// defaults whenever fault injection is enabled.
+	RequestTimeout sim.Duration
+	MaxRetries     int
+	RetryBackoff   sim.Duration
 }
 
 // DefaultConfig returns the paper's base configuration at a given
@@ -157,6 +176,23 @@ func (c Config) Normalize() Config {
 			}
 		}
 	}
+	c.Faults.Normalize()
+	if c.Faults.Enabled() {
+		// Degraded-mode operation needs the retry machinery; fill
+		// defaults so a bare fault config behaves sensibly. With faults
+		// disabled RequestTimeout stays zero and no timers are armed —
+		// that keeps fault-free runs event-identical to builds predating
+		// fault injection.
+		if c.RequestTimeout == 0 {
+			c.RequestTimeout = 2 * sim.Second
+		}
+		if c.MaxRetries == 0 {
+			c.MaxRetries = 3
+		}
+		if c.RetryBackoff == 0 {
+			c.RetryBackoff = 200 * sim.Millisecond
+		}
+	}
 	return c
 }
 
@@ -195,6 +231,18 @@ func (c Config) Validate() error {
 	}
 	if (c.Prefetch.Mode == prefetch.ModeDelayed || c.Prefetch.Mode == prefetch.ModeRealTime) && !c.Sched.IsRealTime() {
 		return fmt.Errorf("core: %s prefetching requires the real-time disk scheduler", c.Prefetch.Mode)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.RequestTimeout < 0 || c.MaxRetries < 0 || c.RetryBackoff < 0 {
+		return fmt.Errorf("core: negative retry parameter")
+	}
+	if c.RequestTimeout > 0 && c.MaxRetries > 0 && c.RetryBackoff <= 0 {
+		return fmt.Errorf("core: retries need a positive backoff")
+	}
+	if c.ReplicateVideos && c.TotalDisks() < 2 {
+		return fmt.Errorf("core: replication needs at least two disks")
 	}
 	if v := c.VCR; v != nil {
 		if v.MeanSeeksPerMovie < 0 || v.MeanDistanceFrac <= 0 ||

@@ -52,6 +52,26 @@ type Metrics struct {
 	SeekRePrimeAvg sim.Duration
 	SeekRePrimeMax sim.Duration
 
+	// Degraded-mode aggregates (fault injection). The per-cause glitch
+	// counters partition Glitches by what the viewer experienced: a
+	// frozen picture (underrun) versus data played over a hole left by a
+	// dead disk or lost messages.
+	GlitchesUnderrun int64
+	GlitchesDiskFail int64
+	GlitchesTimeout  int64
+	Nacks            int64 // NACKs received by terminals
+	Retries          int64 // requests re-issued by terminals
+	Timeouts         int64 // request timeouts fired
+	LostBlocks       int64 // blocks abandoned after the final retry
+	NetDropped       int64 // messages discarded by network fault injection
+	DiskFailStops    int64 // fail-stop events across all disks
+	DiskAbandoned    int64 // disk requests drained/killed by fail-stops
+	DiskRejects      int64 // submissions rejected by failed disks
+	DiskDownTime     sim.Duration
+	MTTRAvg          sim.Duration // mean glitch-to-resume recovery
+	MTTRMax          sim.Duration
+	Recoveries       int64
+
 	Events uint64 // kernel events dispatched (simulator cost)
 }
 
@@ -70,5 +90,19 @@ func (m Metrics) String() string {
 		m.PeakNetBandwidth/1e6, m.Pool.HitFraction()*100, m.Pool.SharedFraction()*100)
 	fmt.Fprintf(&b, "blocks=%d movies=%d resp avg/max = %v/%v\n",
 		m.BlocksServed, m.MoviesCompleted, m.RespTimeAvg, m.RespTimeMax)
+	if m.FaultsSeen() {
+		fmt.Fprintf(&b, "faults: glitch causes underrun/diskfail/timeout = %d/%d/%d  nacks=%d retries=%d timeouts=%d lost=%d\n",
+			m.GlitchesUnderrun, m.GlitchesDiskFail, m.GlitchesTimeout,
+			m.Nacks, m.Retries, m.Timeouts, m.LostBlocks)
+		fmt.Fprintf(&b, "faults: disk failstops=%d abandoned=%d rejects=%d downtime=%v  node crashes=%d drops=%d  netdrop=%d  mttr avg/max = %v/%v\n",
+			m.DiskFailStops, m.DiskAbandoned, m.DiskRejects, m.DiskDownTime,
+			m.Nodes.Crashes, m.Nodes.Dropped, m.NetDropped, m.MTTRAvg, m.MTTRMax)
+	}
 	return b.String()
+}
+
+// FaultsSeen reports whether any degraded-mode activity occurred.
+func (m Metrics) FaultsSeen() bool {
+	return m.DiskFailStops > 0 || m.Nodes.Crashes > 0 || m.NetDropped > 0 ||
+		m.Nacks > 0 || m.Retries > 0 || m.Timeouts > 0 || m.LostBlocks > 0
 }

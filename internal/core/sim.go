@@ -2,6 +2,7 @@ package core
 
 import (
 	"spiffi/internal/disk"
+	"spiffi/internal/faults"
 	"spiffi/internal/layout"
 	"spiffi/internal/mpeg"
 	"spiffi/internal/network"
@@ -60,6 +61,9 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		s.place = layout.NewNonStriped(sizes, cfg.StripeBytes, cfg.Nodes, cfg.DisksPerNode,
 			root.Derive("placement"))
 	}
+	if cfg.ReplicateVideos {
+		s.place.Mirror()
+	}
 
 	s.net = network.New(s.k, cfg.NetParams)
 
@@ -86,6 +90,17 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		s.nodes[n] = server.New(s.k, n, nodeCfg, s.net, s.place, srcs, cfg.StripePlayTime())
 	}
 
+	if cfg.Faults.Enabled() {
+		// The fault plan is drawn from derived streams and scheduled up
+		// front, so a run with a given (seed, fault config) is exactly
+		// reproducible and the fault-free streams are untouched.
+		horizon := sim.Time(0).Add(cfg.StartWindow).Add(cfg.StartupGrace).Add(cfg.MeasureTime)
+		s.applyFaultPlan(faults.NewPlan(cfg.Faults, cfg.Nodes, cfg.DisksPerNode, horizon, root))
+		if hook := faults.NewNetModel(cfg.Faults, root); hook != nil {
+			s.net.SetHook(hook)
+		}
+	}
+
 	if cfg.PiggybackDelay > 0 {
 		s.piggy = newPiggyCoordinator(s.k, cfg.PiggybackDelay)
 	}
@@ -101,6 +116,9 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		Pause:                 cfg.Pause,
 		VCR:                   cfg.VCR,
 		RandomInitialPosition: cfg.RandomInitialPosition,
+		RequestTimeout:        cfg.RequestTimeout,
+		MaxRetries:            cfg.MaxRetries,
+		RetryBackoff:          cfg.RetryBackoff,
 		OnRespTime: func(d sim.Duration) {
 			if s.measuring {
 				s.respHist.Add(d.Seconds())
@@ -185,7 +203,7 @@ func (s *Simulation) Run() (Metrics, error) {
 	m.MeasureEnd = s.k.Now()
 	m.Events = s.k.Events()
 
-	var seekLatSum sim.Duration
+	var seekLatSum, recoverySum sim.Duration
 	for _, t := range s.terms {
 		st := t.Stats()
 		m.Glitches += st.Glitches
@@ -201,10 +219,25 @@ func (s *Simulation) Run() (Metrics, error) {
 		if st.SeekRePrimeMax > m.SeekRePrimeMax {
 			m.SeekRePrimeMax = st.SeekRePrimeMax
 		}
+		m.GlitchesUnderrun += st.GlitchesUnderrun
+		m.GlitchesDiskFail += st.GlitchesDiskFail
+		m.GlitchesTimeout += st.GlitchesTimeout
+		m.Nacks += st.Nacks
+		m.Retries += st.Retries
+		m.Timeouts += st.Timeouts
+		m.LostBlocks += st.LostBlocks
+		m.Recoveries += st.Recoveries
+		recoverySum += st.RecoverySum
+		if st.RecoveryMax > m.MTTRMax {
+			m.MTTRMax = st.RecoveryMax
+		}
 		m.RespTimeSumAdd(st)
 	}
 	if m.Seeks > 0 {
 		m.SeekRePrimeAvg = seekLatSum / sim.Duration(m.Seeks)
+	}
+	if m.Recoveries > 0 {
+		m.MTTRAvg = recoverySum / sim.Duration(m.Recoveries)
 	}
 
 	m.DiskUtilMin = 2
@@ -213,6 +246,9 @@ func (s *Simulation) Run() (Metrics, error) {
 		m.Nodes.Requests += ns.Requests
 		m.Nodes.Prefetches += ns.Prefetches
 		m.Nodes.DeadlineUps += ns.DeadlineUps
+		m.Nodes.Nacks += ns.Nacks
+		m.Nodes.Dropped += ns.Dropped
+		m.Nodes.Crashes += ns.Crashes
 		ps := n.Pool().Stats()
 		m.Pool.DemandRefs += ps.DemandRefs
 		m.Pool.DemandHits += ps.DemandHits
@@ -236,6 +272,11 @@ func (s *Simulation) Run() (Metrics, error) {
 			if du > m.DiskUtilMax {
 				m.DiskUtilMax = du
 			}
+			ds := d.Stats()
+			m.DiskFailStops += ds.FailStops
+			m.DiskAbandoned += ds.Abandoned
+			m.DiskRejects += ds.Rejects
+			m.DiskDownTime += ds.DownTime
 		}
 	}
 	m.CPUUtilAvg /= float64(len(s.nodes))
@@ -245,6 +286,7 @@ func (s *Simulation) Run() (Metrics, error) {
 	}
 	m.PeakNetBandwidth = s.net.PeakAggregateBandwidth()
 	m.NetTotalBytes = s.net.TotalBytes()
+	m.NetDropped = s.net.Dropped()
 	m.RespTimeP50 = sim.DurationOfSeconds(s.respHist.Quantile(0.50))
 	m.RespTimeP99 = sim.DurationOfSeconds(s.respHist.Quantile(0.99))
 	return m, nil
@@ -271,6 +313,43 @@ func Run(cfg Config) (Metrics, error) {
 		return Metrics{}, err
 	}
 	return s.Run()
+}
+
+// applyFaultPlan schedules every planned fault as a kernel event.
+func (s *Simulation) applyFaultPlan(plan []faults.Event) {
+	for _, ev := range plan {
+		ev := ev
+		switch ev.Kind {
+		case faults.KindDiskSlow:
+			d := s.diskByGlobal(ev.Index)
+			s.k.At(ev.At, func() { d.InjectFault(ev.Factor, ev.Duration) })
+		case faults.KindDiskFail:
+			d := s.diskByGlobal(ev.Index)
+			s.k.At(ev.At, func() { d.Fail(ev.Duration) })
+		case faults.KindNodeCrash:
+			n := s.nodes[ev.Index]
+			s.k.At(ev.At, func() { n.Crash(ev.Duration) })
+		}
+	}
+}
+
+// diskByGlobal resolves a server-wide disk index.
+func (s *Simulation) diskByGlobal(g int) *disk.Disk {
+	return s.nodes[g/s.cfg.DisksPerNode].Disks()[g%s.cfg.DisksPerNode]
+}
+
+// ScheduleDiskFailStop arranges (before Run) for one disk to fail-stop at
+// absolute simulated time `at`, repaired after `repair` (<= 0: never).
+func (s *Simulation) ScheduleDiskFailStop(diskGlobal int, at sim.Time, repair sim.Duration) {
+	d := s.diskByGlobal(diskGlobal)
+	s.k.At(at, func() { d.Fail(repair) })
+}
+
+// ScheduleNodeCrash arranges (before Run) for one node to crash at
+// absolute simulated time `at`, restarting after `restart` (<= 0: never).
+func (s *Simulation) ScheduleNodeCrash(node int, at sim.Time, restart sim.Duration) {
+	n := s.nodes[node]
+	s.k.At(at, func() { n.Crash(restart) })
 }
 
 // ScheduleDiskFault arranges (before Run) for one disk to degrade by

@@ -80,6 +80,12 @@ type Stats struct {
 	TransferTime sim.Duration
 	CacheHits    int64
 	QueuePeak    int
+
+	// Degraded-mode counters (fault injection).
+	FailStops int64        // fail-stop events applied to this disk
+	Abandoned int64        // queued requests drained and failed at fail-stop
+	Rejects   int64        // requests rejected because the disk was failed
+	DownTime  sim.Duration // time spent failed (completed outages only)
 }
 
 // Disk is one simulated drive with its own scheduler and service process.
@@ -113,6 +119,14 @@ type Disk struct {
 	// system glitches under degradation and recovers afterwards.
 	slowFactor float64
 	slowUntil  sim.Time
+
+	// Fail-stop state: while failed, queued requests have been drained
+	// with an error, new submissions are rejected with an error, and the
+	// drive sits dark until repairAt (sim.TimeInfinity = never repaired).
+	failed    bool
+	repairAt  sim.Time
+	failStart sim.Time
+	failEpoch uint64 // bumped per fail-stop; in-service requests spanning one fail
 }
 
 // New creates a disk and starts its service process on k. onComplete is
@@ -170,12 +184,19 @@ func (d *Disk) Scheduler() dsched.Scheduler { return d.sched }
 func (d *Disk) QueueLen() int { return d.sched.Len() }
 
 // Submit enqueues a request. The request's Cylinder is derived from its
-// Offset here so issuers never have to know disk geometry.
+// Offset here so issuers never have to know disk geometry. Submitting to a
+// failed disk completes the request immediately with Failed set.
 func (d *Disk) Submit(r *dsched.Request) {
 	d.seq++
 	r.Seq = d.seq
 	r.Arrival = d.k.Now()
 	r.Cylinder = d.cylinderOf(r.Offset)
+	if d.failed {
+		r.Failed = true
+		d.stats.Rejects++
+		d.onComplete(r)
+		return
+	}
 	d.sched.Add(r)
 	if l := d.sched.Len(); l > d.stats.QueuePeak {
 		d.stats.QueuePeak = l
@@ -204,13 +225,21 @@ func (d *Disk) run(p *sim.Proc) {
 		if d.slowFactor > 1 && d.k.Now() < d.slowUntil {
 			service = sim.Duration(float64(service) * d.slowFactor)
 		}
+		epoch := d.failEpoch
 		p.Sleep(service)
 
 		d.busy = false
 		d.stats.BusyTime += d.k.Now().Sub(d.busyStart)
-		d.stats.Served++
-		if r.Prefetch {
-			d.stats.PrefetchOps++
+		if d.failEpoch != epoch || d.failed {
+			// The drive fail-stopped while this request was on the platter:
+			// it completes with an error, not data.
+			r.Failed = true
+			d.stats.Abandoned++
+		} else {
+			d.stats.Served++
+			if r.Prefetch {
+				d.stats.PrefetchOps++
+			}
 		}
 		d.onComplete(r)
 	}
@@ -293,6 +322,50 @@ func (d *Disk) InjectFault(factor float64, duration sim.Duration) {
 	d.slowFactor = factor
 	d.slowUntil = d.k.Now().Add(duration)
 }
+
+// Fail fail-stops the drive: every queued request is drained and completed
+// with Failed set, the in-service request (if any) fails when its transfer
+// would have ended, and new submissions are rejected until the repair
+// completes. A repair duration <= 0 means the drive never recovers.
+// Failing an already-failed drive extends the outage (repairs never move
+// earlier, and a permanent failure stays permanent).
+func (d *Disk) Fail(repair sim.Duration) {
+	now := d.k.Now()
+	d.failEpoch++
+	d.stats.FailStops++
+	if !d.failed {
+		d.failed = true
+		d.failStart = now
+		d.repairAt = 0
+	}
+	if repair <= 0 {
+		d.repairAt = sim.TimeInfinity
+	} else if at := now.Add(repair); at > d.repairAt {
+		d.repairAt = at
+	}
+	if d.repairAt < sim.TimeInfinity {
+		at := d.repairAt
+		d.k.At(at, func() { d.maybeRepair(at) })
+	}
+	for _, r := range d.sched.Drain() {
+		r.Failed = true
+		d.stats.Abandoned++
+		d.onComplete(r)
+	}
+}
+
+// maybeRepair restores service if this timer still corresponds to the
+// latest scheduled repair (a later overlapping failure supersedes it).
+func (d *Disk) maybeRepair(at sim.Time) {
+	if !d.failed || d.repairAt != at {
+		return
+	}
+	d.failed = false
+	d.stats.DownTime += d.k.Now().Sub(d.failStart)
+}
+
+// Failed reports whether the drive is currently fail-stopped.
+func (d *Disk) Failed() bool { return d.failed }
 
 // ResetStats restarts the measurement window (discarding warm-up).
 func (d *Disk) ResetStats() {

@@ -10,6 +10,8 @@
 package dsched
 
 import (
+	"sort"
+
 	"spiffi/internal/sim"
 )
 
@@ -23,6 +25,11 @@ type Request struct {
 	Prefetch bool     // background prefetch rather than a demand read
 	Arrival  sim.Time // when the request entered the queue
 	Seq      uint64   // global arrival sequence, the deterministic tiebreak
+
+	// Failed marks a request completed with an error rather than data:
+	// the disk fail-stopped while it was queued or in service, or it was
+	// submitted to an already-failed disk.
+	Failed bool
 
 	// Data carries the issuer's completion context opaquely.
 	Data any
@@ -39,6 +46,25 @@ type Scheduler interface {
 	Next(now sim.Time, headCyl int) *Request
 	// Len reports the number of pending requests.
 	Len() int
+	// Drain removes and returns every pending request in arrival (Seq)
+	// order, emptying the queue. A fail-stopped disk drains its queue and
+	// completes the abandoned requests with Failed set so issuers learn
+	// their fate instead of waiting forever.
+	Drain() []*Request
+}
+
+// drainSorted empties the given backing slices into one arrival-ordered
+// result. It is the shared Drain implementation: every discipline stores
+// plain request slices, and arrival order is the only ordering that still
+// means anything once the disk is gone.
+func drainSorted(lists ...*[]*Request) []*Request {
+	var out []*Request
+	for _, l := range lists {
+		out = append(out, *l...)
+		*l = (*l)[:0]
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
 }
 
 // pickElevator chooses the SCAN-order request from reqs: the nearest

@@ -23,6 +23,9 @@ func (e *Elevator) Add(r *Request) { e.reqs = append(e.reqs, r) }
 // Len implements Scheduler.
 func (e *Elevator) Len() int { return len(e.reqs) }
 
+// Drain implements Scheduler.
+func (e *Elevator) Drain() []*Request { return drainSorted(&e.reqs) }
+
 // Next implements Scheduler.
 func (e *Elevator) Next(_ sim.Time, headCyl int) *Request {
 	if len(e.reqs) == 0 {
@@ -54,6 +57,9 @@ func (f *FCFS) Add(r *Request) { f.reqs = append(f.reqs, r) }
 // Len implements Scheduler.
 func (f *FCFS) Len() int { return len(f.reqs) }
 
+// Drain implements Scheduler.
+func (f *FCFS) Drain() []*Request { return drainSorted(&f.reqs) }
+
 // Next implements Scheduler.
 func (f *FCFS) Next(_ sim.Time, _ int) *Request {
 	if len(f.reqs) == 0 {
@@ -84,6 +90,9 @@ func (rr *RoundRobin) Add(r *Request) { rr.reqs = append(rr.reqs, r) }
 
 // Len implements Scheduler.
 func (rr *RoundRobin) Len() int { return len(rr.reqs) }
+
+// Drain implements Scheduler.
+func (rr *RoundRobin) Drain() []*Request { return drainSorted(&rr.reqs) }
 
 // Next implements Scheduler.
 func (rr *RoundRobin) Next(_ sim.Time, _ int) *Request {

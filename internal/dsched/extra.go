@@ -23,6 +23,9 @@ func (s *SSTF) Add(r *Request) { s.reqs = append(s.reqs, r) }
 // Len implements Scheduler.
 func (s *SSTF) Len() int { return len(s.reqs) }
 
+// Drain implements Scheduler.
+func (s *SSTF) Drain() []*Request { return drainSorted(&s.reqs) }
+
 // Next implements Scheduler.
 func (s *SSTF) Next(_ sim.Time, headCyl int) *Request {
 	if len(s.reqs) == 0 {
@@ -60,6 +63,9 @@ func (c *CSCAN) Add(r *Request) { c.reqs = append(c.reqs, r) }
 
 // Len implements Scheduler.
 func (c *CSCAN) Len() int { return len(c.reqs) }
+
+// Drain implements Scheduler.
+func (c *CSCAN) Drain() []*Request { return drainSorted(&c.reqs) }
 
 // Next implements Scheduler.
 func (c *CSCAN) Next(_ sim.Time, headCyl int) *Request {

@@ -52,6 +52,9 @@ func (g *GSS) Add(r *Request) { g.pending = append(g.pending, r) }
 // Len implements Scheduler.
 func (g *GSS) Len() int { return len(g.batch) + len(g.pending) }
 
+// Drain implements Scheduler.
+func (g *GSS) Drain() []*Request { return drainSorted(&g.batch, &g.pending) }
+
 // Next implements Scheduler.
 func (g *GSS) Next(_ sim.Time, headCyl int) *Request {
 	if len(g.batch) == 0 {

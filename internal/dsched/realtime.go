@@ -51,6 +51,9 @@ func (rt *RealTime) Add(r *Request) { rt.reqs = append(rt.reqs, r) }
 // Len implements Scheduler.
 func (rt *RealTime) Len() int { return len(rt.reqs) }
 
+// Drain implements Scheduler.
+func (rt *RealTime) Drain() []*Request { return drainSorted(&rt.reqs) }
+
 // ClassOf returns the priority class (0 = most urgent) a request with the
 // given deadline occupies at time now.
 func (rt *RealTime) ClassOf(now, deadline sim.Time) int {

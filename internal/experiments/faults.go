@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spiffi/internal/core"
+	"spiffi/internal/sim"
+)
+
+// Faults is the fault-injection experiment: how many glitch-free
+// terminals the system sustains as the disk fail-stop rate rises, with
+// and without a declustered replica of every video. A mirrored layout
+// lets the terminals' retry machinery route around a dead disk, so its
+// capacity should degrade far more gracefully than the no-replica
+// layout, where every fail-stop leaves unreadable blocks until repair.
+//
+// Besides the capacity curve, each nonzero fault rate also runs one
+// probe at that layout's fault-free maximum and reports its degraded-
+// mode accounting (per-cause glitches, NACKs, retries, timeouts, mean
+// time to recover) in the notes — the per-viewer cost of operating a
+// faulty system at full load.
+func Faults(f Fidelity) (Result, error) {
+	res := Result{
+		ID:     "faults",
+		Title:  "Degraded-mode capacity under disk fail-stops",
+		XLabel: "disk fail-stops per disk-hour",
+		YLabel: "max glitch-free terminals",
+	}
+	rates := []float64{0, 0.5, 1, 2}
+	const repair = 30 * sim.Second
+	variants := []struct {
+		name   string
+		mirror bool
+	}{
+		{"no-replica", false},
+		{"mirrored", true},
+	}
+	for _, v := range variants {
+		s := Series{Name: v.name}
+		baseline := 0
+		for _, rate := range rates {
+			cfg := base()
+			cfg.ReplicateVideos = v.mirror
+			cfg.Faults.DiskFailRate = rate
+			cfg.Faults.DiskRepairTime = repair
+			r, err := f.search(cfg, 0, 0)
+			if err != nil {
+				return res, fmt.Errorf("%s rate=%.1f: %w", v.name, rate, err)
+			}
+			s.Points = append(s.Points, Point{X: rate, Y: float64(r.MaxTerminals)})
+			if rate == 0 {
+				baseline = r.MaxTerminals
+				continue
+			}
+			if baseline == 0 {
+				continue
+			}
+			// Probe the degraded accounting at the fault-free maximum.
+			probe := f.apply(cfg)
+			probe.Terminals = baseline
+			m, err := core.Run(probe)
+			if err != nil {
+				return res, fmt.Errorf("%s rate=%.1f probe: %w", v.name, rate, err)
+			}
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%s rate=%.1f probe@%d: glitches underrun/diskfail/timeout = %d/%d/%d, nacks=%d retries=%d timeouts=%d lost=%d, failstops=%d, mttr avg/max = %v/%v",
+				v.name, rate, baseline,
+				m.GlitchesUnderrun, m.GlitchesDiskFail, m.GlitchesTimeout,
+				m.Nacks, m.Retries, m.Timeouts, m.LostBlocks,
+				m.DiskFailStops, m.MTTRAvg, m.MTTRMax))
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

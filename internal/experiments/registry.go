@@ -67,6 +67,7 @@ func Registry() map[string]Runner {
 		"ablation-zoned":    single(AblationZonedDisks),
 		"admission":         single(Admission),
 		"vcr":               single(VCRSeek),
+		"faults":            single(Faults),
 	}
 }
 

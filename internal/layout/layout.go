@@ -41,6 +41,15 @@ type Placement struct {
 	// Non-striped: video -> disk, and byte offset of the video's start.
 	videoDisk  []int
 	videoStart []int64
+
+	// Mirroring (Mirror): replicas is 1 (no redundancy) or 2. The replica
+	// of a block lives on the next disk (declustered chained mirroring),
+	// so one dead disk leaves every block readable somewhere else.
+	replicas int
+
+	// Non-striped mirroring: primary bytes stored per disk, so replicas
+	// can be stacked above each disk's primary data.
+	diskPrimary []int64
 }
 
 // NewStriped builds the paper's fully striped placement.
@@ -107,6 +116,7 @@ func newPlacement(videoSizes []int64, blockSize int64, nodes, disksPerNode int) 
 		blockSize:    blockSize,
 		videoSizes:   videoSizes,
 		numBlocks:    make([]int, len(videoSizes)),
+		replicas:     1,
 	}
 	for i, sz := range videoSizes {
 		if sz <= 0 {
@@ -190,6 +200,68 @@ func (p *Placement) Locate(v, b int) Address {
 	}
 }
 
+// Mirror adds a second, declustered copy of every video: block (v, b)'s
+// replica lives on the disk after its primary ((diskGlobal+1) mod
+// totalDisks), so the read load of a dead disk spreads over its
+// neighbor rather than concentrating on a single mirror drive. Striped
+// replicas occupy a mirror region stacked above all primary regions;
+// non-striped replicas are stacked above each disk's primary videos.
+// Call before sizing disks: mirroring doubles MaxDiskBytes.
+func (p *Placement) Mirror() {
+	if p.totalDisks < 2 {
+		panic("layout: mirroring needs at least two disks")
+	}
+	if p.replicas == 2 {
+		return
+	}
+	p.replicas = 2
+	if !p.striped {
+		p.diskPrimary = make([]int64, p.totalDisks)
+		for v, sz := range p.videoSizes {
+			p.diskPrimary[p.videoDisk[v]] += sz
+		}
+	}
+}
+
+// Replicas returns the number of stored copies of every block (1 or 2).
+func (p *Placement) Replicas() int { return p.replicas }
+
+// LocateCopy maps (video, block, copy) to a disk address. Copy 0 is the
+// primary placement (identical to Locate); copy 1 is the mirrored replica
+// and requires Mirror to have been called.
+func (p *Placement) LocateCopy(v, b, copy int) Address {
+	switch copy {
+	case 0:
+		return p.Locate(v, b)
+	case 1:
+		if p.replicas < 2 {
+			panic("layout: replica requested from unmirrored placement")
+		}
+	default:
+		panic(fmt.Sprintf("layout: copy %d out of range", copy))
+	}
+	primary := p.Locate(v, b)
+	d := (primary.DiskGlobal + 1) % p.totalDisks
+	addr := Address{
+		Node:       d / p.disksPerNode,
+		Disk:       d % p.disksPerNode,
+		DiskGlobal: d,
+		Size:       primary.Size,
+	}
+	if p.striped {
+		// The mirror region mirrors the primary region layout, shifted
+		// one disk over and stacked above all primary regions.
+		stripeIdx := b / p.totalDisks
+		addr.Offset = int64(len(p.videoSizes))*p.regionBytes +
+			int64(v)*p.regionBytes + int64(stripeIdx)*p.blockSize
+	} else {
+		// Replicas of disk d-1's videos stack above disk d's primaries in
+		// the same order, so the primary's start offset is reused.
+		addr.Offset = p.diskPrimary[d] + p.videoStart[v] + int64(b)*p.blockSize
+	}
+	return addr
+}
+
 // NextBlockOnSameDisk returns the next block of video v that lives on the
 // same disk as block b, for sequential prefetching. ok is false when no
 // such block exists (end of the video's data on that disk).
@@ -206,17 +278,20 @@ func (p *Placement) NextBlockOnSameDisk(v, b int) (next int, ok bool) {
 }
 
 // MaxDiskBytes returns the highest end-of-data offset across disks, used
-// to size the simulated disks' cylinder range.
+// to size the simulated disks' cylinder range. Mirroring doubles it.
 func (p *Placement) MaxDiskBytes() int64 {
 	if p.striped {
-		return int64(len(p.videoSizes)) * p.regionBytes
+		return int64(p.replicas) * int64(len(p.videoSizes)) * p.regionBytes
 	}
 	top := make([]int64, p.totalDisks)
 	for v, sz := range p.videoSizes {
 		top[p.videoDisk[v]] += sz
 	}
 	var max int64
-	for _, t := range top {
+	for d, t := range top {
+		if p.replicas == 2 {
+			t += top[(d-1+p.totalDisks)%p.totalDisks]
+		}
 		if t > max {
 			max = t
 		}

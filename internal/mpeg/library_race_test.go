@@ -1,0 +1,41 @@
+package mpeg
+
+import (
+	"sync"
+	"testing"
+)
+
+// SharedLibrary is the one piece of state simulation runs share, so it
+// must be safe under concurrent sweeps (go test -race exercises this).
+func TestSharedLibraryConcurrent(t *testing.T) {
+	params := DefaultParams()
+	params.Length = 2 * 1000 * 1000 * 1000 // 2s: tiny frame tables
+	const workers = 16
+	libs := make([]*Library, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lib := SharedLibrary(params, 8, 99)
+			libs[w] = lib
+			for id := 0; id < 8; id++ {
+				v := lib.Get(id)
+				if v.TotalBytes() <= 0 {
+					t.Errorf("video %d empty", id)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if libs[w] != libs[0] {
+			t.Fatal("SharedLibrary returned distinct instances for one identity")
+		}
+	}
+	// Generated videos are cached: all workers saw identical objects.
+	if SharedLibrary(params, 8, 99).Get(3) != libs[0].Get(3) {
+		t.Fatal("Get regenerated a cached video")
+	}
+}

@@ -29,12 +29,23 @@ func DefaultParams() Params {
 	}
 }
 
+// Hook intercepts messages for fault injection. Mangle is consulted once
+// per Send, after metering: drop=true discards the message (the receiver
+// never sees it — timeouts are the only recovery), otherwise extra is
+// added to the wire delay (congestion jitter). A deterministic hook makes
+// the whole network deterministic, since it is consulted in Send order.
+type Hook interface {
+	Mangle(size int64) (drop bool, extra sim.Duration)
+}
+
 // Network is the shared bus.
 type Network struct {
-	k      *sim.Kernel
-	params Params
-	meter  *stats.PeakRateMeter
-	sent   int64
+	k       *sim.Kernel
+	params  Params
+	meter   *stats.PeakRateMeter
+	sent    int64
+	hook    Hook
+	dropped int64
 }
 
 // New creates the bus.
@@ -59,8 +70,23 @@ func (n *Network) WireDelay(size int64) sim.Duration {
 func (n *Network) Send(size int64, deliver func()) {
 	n.meter.Record(n.k.Now().Seconds(), float64(size))
 	n.sent++
-	n.k.After(n.WireDelay(size), deliver)
+	delay := n.WireDelay(size)
+	if n.hook != nil {
+		drop, extra := n.hook.Mangle(size)
+		if drop {
+			n.dropped++
+			return
+		}
+		delay += extra
+	}
+	n.k.After(delay, deliver)
 }
+
+// SetHook installs (or, with nil, removes) the fault-injection hook.
+func (n *Network) SetHook(h Hook) { n.hook = h }
+
+// Dropped returns the number of messages discarded by the hook.
+func (n *Network) Dropped() int64 { return n.dropped }
 
 // PeakAggregateBandwidth returns the highest windowed transfer rate seen,
 // in bytes/second (Figure 18's metric).
@@ -76,4 +102,5 @@ func (n *Network) Messages() int64 { return n.sent }
 func (n *Network) ResetStats() {
 	n.meter.Reset()
 	n.sent = 0
+	n.dropped = 0
 }

@@ -14,6 +14,34 @@ const RequestHeaderBytes = 64
 // block payload.
 const ReplyHeaderBytes = 64
 
+// NackBytes is the wire size of a negative acknowledgement: a header-only
+// reply carrying a failure status instead of block data.
+const NackBytes = 64
+
+// Status reports how the server disposed of a block request. The zero
+// value is success, so fault-free code never touches it.
+type Status int
+
+// Reply statuses.
+const (
+	// StatusOK: the reply carries the block data.
+	StatusOK Status = iota
+	// StatusNackDiskFailed: the disk holding the block is fail-stopped;
+	// the terminal should retry against a replica or record a glitch.
+	StatusNackDiskFailed
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNackDiskFailed:
+		return "nack-disk-failed"
+	default:
+		return "status-?"
+	}
+}
+
 // BlockRequest asks a node for one stripe block of one video.
 type BlockRequest struct {
 	Video    int
@@ -21,6 +49,20 @@ type BlockRequest struct {
 	Size     int64    // expected payload size (one stripe block)
 	Deadline sim.Time // completion deadline to avoid a glitch (§5.2.2)
 	Terminal int
+
+	// Copy selects which stored copy of the block to read: 0 is the
+	// primary placement, 1 the replica (when the layout mirrors videos).
+	// Retries rotate the copy to fail over around a dead disk.
+	Copy int
+
+	// Attempt numbers the terminal's delivery attempts for this block,
+	// starting at 0. Replies from superseded attempts (a retry was already
+	// issued after a timeout) are recognized and dropped by the terminal.
+	Attempt int
+
+	// Status distinguishes a data reply (StatusOK) from a NACK sent when
+	// the block's disk is fail-stopped.
+	Status Status
 
 	// Deliver is invoked in simulation context when the data reply
 	// reaches the requesting terminal.

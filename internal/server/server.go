@@ -25,10 +25,6 @@ import (
 	"spiffi/internal/sim"
 )
 
-// farFuture pins requests without meaningful deadlines (basic prefetches
-// under non-real-time scheduling) to the lowest priority class.
-const farFuture = sim.Time(1 << 62)
-
 // Config carries per-node configuration.
 type Config struct {
 	PoolPages   int
@@ -50,6 +46,11 @@ type Stats struct {
 	Requests    int64 // demand block requests handled
 	Prefetches  int64 // prefetch disk reads issued
 	DeadlineUps int64 // queued prefetches tightened by a demand arrival
+
+	// Degraded-mode counters (fault injection).
+	Nacks   int64 // NACK replies for reads on fail-stopped disks
+	Dropped int64 // requests/replies discarded while the node was down
+	Crashes int64 // crash events applied to this node
 }
 
 // Node is one video-server node.
@@ -73,6 +74,13 @@ type Node struct {
 	// stripePlayTime estimates how long one stripe block plays, for the
 	// prefetch deadline estimate.
 	stripePlayTime sim.Duration
+
+	// Crash state: while down the node silently drops incoming requests
+	// and suppresses outgoing replies — terminals discover the outage only
+	// through timeouts, exactly like a real fail-stop machine. Handlers
+	// already in flight keep running internally but produce no output.
+	down      bool
+	restartAt sim.Time
 
 	stats Stats
 }
@@ -162,8 +170,13 @@ func (n *Node) ResetStats() {
 }
 
 // DeliverRequest accepts a block request off the network (kernel
-// context) and spawns a handler process for it.
+// context) and spawns a handler process for it. A crashed node drops the
+// request on the floor — the terminal's timeout is the only signal.
 func (n *Node) DeliverRequest(req *proto.BlockRequest) {
+	if n.down {
+		n.stats.Dropped++
+		return
+	}
 	n.k.Spawn(fmt.Sprintf("node-%d-handler", n.id), func(p *sim.Proc) {
 		n.handle(p, req)
 	})
@@ -174,39 +187,76 @@ func (n *Node) handle(p *sim.Proc, req *proto.BlockRequest) {
 	n.cpu.Receive(p)
 	n.stats.Requests++
 	id := bufferpool.PageID{Video: req.Video, Block: req.Block}
-	addr := n.place.Locate(req.Video, req.Block)
+	addr := n.place.LocateCopy(req.Video, req.Block, req.Copy)
 	if addr.Node != n.id {
 		panic("server: misrouted block request")
 	}
+	if n.disks[addr.Disk].Failed() && !n.pool.Contains(id) {
+		// The copy's disk is dead and the data is not buffered: NACK
+		// immediately so the terminal can fail over without waiting for
+		// a timeout. (Buffered data is still served off a dead disk.)
+		n.nack(p, req)
+		return
+	}
 
 	pg, out := n.pool.Acquire(p, id, req.Terminal, false)
+	ok := true
 	switch out {
 	case bufferpool.MustFetch:
-		n.readBlock(p, pg, addr, req.Deadline, req.Terminal, false)
+		ok = n.readBlock(p, pg, addr, req.Deadline, req.Terminal, false)
 	case bufferpool.InFlight:
 		// A prefetch (or another terminal's fetch) is already on its
 		// way; tighten its queued deadline to the real one (§5.2.3).
-		if dr, ok := n.inflight[id]; ok && req.Deadline < dr.Deadline {
+		if dr, found := n.inflight[id]; found && req.Deadline < dr.Deadline {
 			dr.Deadline = req.Deadline
 			n.stats.DeadlineUps++
 		}
 		pg.Ready.Wait(p)
+		ok = pg.Valid() // false: the fetch we piggybacked on failed
 	case bufferpool.Hit:
 		// Data already buffered.
 	}
+	if !ok {
+		n.pool.Unpin(pg) // no-op on the defunct page; kept for symmetry
+		n.nack(p, req)
+		return
+	}
 
 	// Every real reference triggers a prefetch of the video's next
-	// stripe block on this same disk (§5.2.3).
-	n.triggerPrefetch(req, addr)
+	// stripe block on this same disk (§5.2.3). Replica reads don't: the
+	// prefetch chain follows the primary placement.
+	if req.Copy == 0 {
+		n.triggerPrefetch(req, addr)
+	}
 
 	n.cpu.Send(p)
-	n.net.Send(req.Size+proto.ReplyHeaderBytes, func() { req.Deliver(req) })
+	n.reply(req, req.Size+proto.ReplyHeaderBytes)
 	n.pool.Unpin(pg)
 }
 
-// readBlock performs a disk read for an acquired MustFetch page and
-// marks it valid. Caller keeps the pin.
-func (n *Node) readBlock(p *sim.Proc, pg *bufferpool.Page, addr layout.Address, deadline sim.Time, term int, isPrefetch bool) {
+// nack answers a request whose data cannot be read (dead disk) with a
+// header-only negative acknowledgement.
+func (n *Node) nack(p *sim.Proc, req *proto.BlockRequest) {
+	n.stats.Nacks++
+	req.Status = proto.StatusNackDiskFailed
+	n.cpu.Send(p)
+	n.reply(req, proto.NackBytes)
+}
+
+// reply ships a response unless the node is down (a crashed machine sends
+// nothing; in-flight work evaporates).
+func (n *Node) reply(req *proto.BlockRequest, bytes int64) {
+	if n.down {
+		n.stats.Dropped++
+		return
+	}
+	n.net.Send(bytes, func() { req.Deliver(req) })
+}
+
+// readBlock performs a disk read for an acquired MustFetch page and marks
+// it valid, or — when the disk fail-stops before delivering — aborts the
+// fetch and reports false. Caller keeps the pin either way.
+func (n *Node) readBlock(p *sim.Proc, pg *bufferpool.Page, addr layout.Address, deadline sim.Time, term int, isPrefetch bool) bool {
 	n.cpu.StartIO(p)
 	done := sim.NewEvent(n.k)
 	dr := &dsched.Request{
@@ -220,8 +270,53 @@ func (n *Node) readBlock(p *sim.Proc, pg *bufferpool.Page, addr layout.Address, 
 	n.inflight[pg.ID] = dr
 	n.disks[addr.Disk].Submit(dr)
 	done.Wait(p)
+	if dr.Failed {
+		n.pool.FetchFailed(pg)
+		return false
+	}
 	n.pool.FetchComplete(pg)
+	return true
 }
+
+// Crash fail-stops the whole node: every local disk fails (abandoning its
+// queue), incoming requests are dropped, and replies are suppressed until
+// the restart completes. A restart duration <= 0 means the node never
+// comes back. Crashing a down node extends the outage.
+func (n *Node) Crash(restart sim.Duration) {
+	now := n.k.Now()
+	n.stats.Crashes++
+	if !n.down {
+		n.down = true
+		n.restartAt = 0
+	}
+	if restart <= 0 {
+		n.restartAt = sim.TimeInfinity
+	} else if at := now.Add(restart); at > n.restartAt {
+		n.restartAt = at
+	}
+	// Local disks fail-stop with the node and recover with it; their
+	// repair events are scheduled before the node's restart event, so at
+	// the restart instant the disks are already serviceable.
+	for _, d := range n.disks {
+		d.Fail(restart)
+	}
+	if n.restartAt < sim.TimeInfinity {
+		at := n.restartAt
+		n.k.At(at, func() { n.maybeRestart(at) })
+	}
+}
+
+// maybeRestart brings the node back if this timer is still the latest
+// scheduled restart (a later overlapping crash supersedes it).
+func (n *Node) maybeRestart(at sim.Time) {
+	if !n.down || n.restartAt != at {
+		return
+	}
+	n.down = false
+}
+
+// Down reports whether the node is currently crashed.
+func (n *Node) Down() bool { return n.down }
 
 // onDiskComplete runs in simulation context when a disk read finishes.
 func (n *Node) onDiskComplete(r *dsched.Request) {
@@ -277,7 +372,7 @@ func (n *Node) prefetchWorker(p *sim.Proc, diskIdx int) {
 		if !n.cfg.Sched.IsRealTime() {
 			// Without deadline-aware scheduling the estimate is unused;
 			// park prefetches behind everything just in case.
-			deadline = farFuture
+			deadline = sim.TimeInfinity
 		}
 		addr := n.place.Locate(job.Video, job.Block)
 		n.stats.Prefetches++

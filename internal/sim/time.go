@@ -36,6 +36,15 @@ const (
 	Hour                 = 60 * Minute
 )
 
+// TimeInfinity is the far-future sentinel: later than any reachable
+// simulation instant, used for "never" deadlines (lowest-priority
+// prefetches) and permanent failures (no repair scheduled). It is 1<<62,
+// not MaxInt64, so that subtracting any realistic Time still yields a
+// positive Duration; adding a positive Duration to it, however, can wrap
+// negative — code must treat TimeInfinity as unreachable and never
+// extend it. This is the single audited home of that overflow caveat.
+const TimeInfinity Time = 1 << 62
+
 // Add returns the time d after t.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 

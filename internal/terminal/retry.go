@@ -1,0 +1,126 @@
+package terminal
+
+import (
+	"spiffi/internal/proto"
+)
+
+// This file is the terminal's degraded-mode machinery: request timeouts,
+// bounded retries with exponential backoff, replica failover, and
+// glitch-with-cause accounting for blocks the server never delivered.
+// None of it runs when Config.RequestTimeout is zero — no timers are
+// armed, so fault-free simulations are event-for-event identical to the
+// pre-fault-injection behavior.
+
+// pendingReq tracks one logical block request across delivery attempts.
+// The outstanding byte count is charged once at the first issue and
+// credited once at resolution (data arrival or final abandonment),
+// however many attempts happen in between.
+type pendingReq struct {
+	req   *proto.BlockRequest // current (latest) attempt
+	vid   int
+	block int
+	size  int64
+	tries int // attempts issued so far (1 = the original)
+	gen   int // bumped on every state change to void stale timers
+}
+
+// glitchCause labels why a block was abandoned.
+type glitchCause int
+
+const (
+	causeDiskFail glitchCause = iota // NACKed: the disk is fail-stopped
+	causeTimeout                     // request or reply lost / server dead
+)
+
+// armTimeout schedules the no-reply timer for the entry's current attempt.
+func (t *Terminal) armTimeout(pr *pendingReq) {
+	pr.gen++
+	gen := pr.gen
+	t.k.After(t.cfg.RequestTimeout, func() {
+		if t.pending[pr.block] != pr || pr.gen != gen {
+			return // answered, abandoned, or superseded meanwhile
+		}
+		t.stats.Timeouts++
+		t.retryOrGiveUp(pr, causeTimeout)
+	})
+}
+
+// retryOrGiveUp is the attempt-failed path (timeout or NACK): either
+// schedule the next attempt after an exponential backoff, or abandon the
+// block and record a glitch with its cause.
+func (t *Terminal) retryOrGiveUp(pr *pendingReq, cause glitchCause) {
+	pr.gen++ // void the armed timer for the failed attempt
+	if pr.tries > t.cfg.MaxRetries {
+		t.loseBlock(pr.block, pr.size, cause)
+		return
+	}
+	// Backoff doubles per retry: RetryBackoff, 2x, 4x, ...
+	backoff := t.cfg.RetryBackoff << (pr.tries - 1)
+	gen := pr.gen
+	t.k.After(backoff+t.cfg.SendLatency, func() {
+		if t.pending[pr.block] != pr || pr.gen != gen || t.vid != pr.vid {
+			// Late data arrived during the backoff, the block was
+			// abandoned, or the stream repositioned: nothing to resend.
+			return
+		}
+		t.resend(pr)
+	})
+}
+
+// resend issues the next attempt for the block, rotating to the replica
+// copy (when the layout stores one) so a dead primary disk is routed
+// around rather than hammered.
+func (t *Terminal) resend(pr *pendingReq) {
+	pr.tries++
+	t.stats.Retries++
+	attempt := pr.tries - 1 // 0-based
+	copy := attempt % t.place.Replicas()
+	addr := t.place.LocateCopy(pr.vid, pr.block, copy)
+	req := &proto.BlockRequest{
+		Video:    pr.vid,
+		Block:    pr.block,
+		Size:     pr.size,
+		Deadline: t.deadlineFor(pr.block),
+		Terminal: t.id,
+		Copy:     copy,
+		Attempt:  attempt,
+		Deliver:  t.onReply,
+		Issued:   t.k.Now(),
+	}
+	pr.req = req
+	t.send(addr.Node, req)
+	t.armTimeout(pr)
+}
+
+// loseBlock abandons a block the server will never deliver: the viewer
+// gets a glitch (attributed to its cause), and playback continues over
+// the hole — the frontier advances as if the bytes had arrived, so one
+// dead disk costs its blocks, not the whole movie.
+func (t *Terminal) loseBlock(block int, size int64, cause glitchCause) {
+	delete(t.pending, block)
+	t.outstanding -= size
+	t.stats.LostBlocks++
+	t.stats.GlitchesTotal++
+	if t.measuring() {
+		t.stats.Glitches++
+		switch cause {
+		case causeDiskFail:
+			t.stats.GlitchesDiskFail++
+		default:
+			t.stats.GlitchesTimeout++
+		}
+	}
+	t.admit(block, size)
+	t.wakeOnArrival()
+}
+
+// cancelPending abandons every tracked request without glitch accounting
+// (the data is unwanted after a reposition). Late replies become stale
+// drops; the blocks the stream still needs are re-requested afresh.
+func (t *Terminal) cancelPending() {
+	for b, pr := range t.pending {
+		pr.gen++
+		t.outstanding -= pr.size
+		delete(t.pending, b)
+	}
+}

@@ -66,6 +66,18 @@ type Config struct {
 	// positions) without simulating a full movie-length warm-up.
 	// Subsequent movies always start from the beginning.
 	RandomInitialPosition bool
+
+	// RequestTimeout, when positive, arms a timer per outstanding block
+	// request; an unanswered request is retried up to MaxRetries times
+	// with exponential backoff starting at RetryBackoff, rotating to the
+	// replica copy when the layout has one. A block still unanswered after
+	// the final retry is abandoned: the terminal records a glitch with its
+	// cause and plays over the hole. Zero (the default) disables the whole
+	// machinery — no timers are armed, so fault-free runs are event-for-
+	// event identical to a build without it.
+	RequestTimeout sim.Duration
+	MaxRetries     int
+	RetryBackoff   sim.Duration
 }
 
 // Stats aggregates one terminal's counters.
@@ -86,6 +98,22 @@ type Stats struct {
 	StaleDrops     int64        // replies discarded after a reposition
 	SeekRePrimeSum sim.Duration // seek-to-resume latency accumulation
 	SeekRePrimeMax sim.Duration
+
+	// Degraded-mode counters (fault injection). The per-cause glitch
+	// counters break the window's glitches down by what the viewer saw:
+	// a frozen picture (buffer underrun) or missing data played over
+	// (a block abandoned after NACKs from a dead disk, or after repeated
+	// timeouts when requests or replies were lost).
+	GlitchesUnderrun int64
+	GlitchesDiskFail int64
+	GlitchesTimeout  int64
+	Nacks            int64 // NACK replies received
+	Retries          int64 // re-issued requests
+	Timeouts         int64 // request timeouts fired
+	LostBlocks       int64 // blocks abandoned after the final retry
+	Recoveries       int64 // completed glitch-to-resume recoveries
+	RecoverySum      sim.Duration
+	RecoveryMax      sim.Duration
 }
 
 // Terminal is one subscriber set-top unit.
@@ -118,6 +146,13 @@ type Terminal struct {
 	ooo            map[int]int64 // out-of-order arrivals: block -> size
 	oooBytes       int64
 	outstanding    int64 // requested, not yet arrived
+
+	// pending tracks in-flight requests for the retry machinery, keyed by
+	// block. Empty whenever RequestTimeout is zero. An arrival is "live"
+	// only if it is the entry's current attempt (pointer identity);
+	// replies from superseded attempts are stale-dropped.
+	pending  map[int]*pendingReq
+	glitchAt sim.Time // when the in-progress glitch stalled display (MTTR)
 
 	playing        bool
 	displayStart   sim.Time // frame f displays at displayStart + f*period
@@ -166,6 +201,7 @@ func New(
 		measuring:   measuring,
 		onStarted:   onStarted,
 		movieChange: sim.NewEvent(k),
+		pending:     make(map[int]*pendingReq),
 	}
 	return t
 }
@@ -198,6 +234,16 @@ func (t *Terminal) ResetWindowStats() {
 	t.stats.StaleDrops = 0
 	t.stats.SeekRePrimeSum = 0
 	t.stats.SeekRePrimeMax = 0
+	t.stats.GlitchesUnderrun = 0
+	t.stats.GlitchesDiskFail = 0
+	t.stats.GlitchesTimeout = 0
+	t.stats.Nacks = 0
+	t.stats.Retries = 0
+	t.stats.Timeouts = 0
+	t.stats.LostBlocks = 0
+	t.stats.Recoveries = 0
+	t.stats.RecoverySum = 0
+	t.stats.RecoveryMax = 0
 }
 
 // Started reports whether the terminal has begun displaying its first
@@ -294,6 +340,17 @@ func (t *Terminal) playMovie(p *sim.Proc) {
 	for {
 		t.waitPrimed(p)
 		t.stats.Primes++
+		if t.glitchAt != 0 {
+			// The prime that just completed recovered from a glitch:
+			// record the viewer-visible freeze-to-resume time (MTTR).
+			rec := t.k.Now().Sub(t.glitchAt)
+			t.glitchAt = 0
+			t.stats.Recoveries++
+			t.stats.RecoverySum += rec
+			if rec > t.stats.RecoveryMax {
+				t.stats.RecoveryMax = rec
+			}
+		}
 		if t.seekStarted != 0 {
 			// The prime that just completed was a seek recovery; record
 			// the user-visible seek-to-resume latency.
@@ -322,8 +379,10 @@ func (t *Terminal) playMovie(p *sim.Proc) {
 			// fully before restarting so a second glitch does not
 			// follow at once.
 			t.stats.GlitchesTotal++
+			t.glitchAt = t.k.Now()
 			if t.measuring() {
 				t.stats.Glitches++
+				t.stats.GlitchesUnderrun++
 			}
 		}
 	}
@@ -548,6 +607,11 @@ func (t *Terminal) issue(p *sim.Proc, size int64) {
 		p.Sleep(t.cfg.SendLatency)
 	}
 	t.send(addr.Node, req)
+	if t.cfg.RequestTimeout > 0 {
+		pr := &pendingReq{req: req, vid: t.vid, block: b, size: size, tries: 1}
+		t.pending[b] = pr
+		t.armTimeout(pr)
+	}
 }
 
 // deadlineFor computes the §5.2.2 deadline: the display time of the first
@@ -574,8 +638,36 @@ func (t *Terminal) onReply(req *proto.BlockRequest) {
 }
 
 func (t *Terminal) applyArrival(req *proto.BlockRequest) {
+	pr := t.pending[req.Block]
+	live := pr != nil && pr.req == req && req.Video == t.vid
+	if t.cfg.RequestTimeout > 0 && !live {
+		// A reply from a superseded attempt (a retry was already issued),
+		// an already-resolved block, or a leftover from a previous movie:
+		// the retry machinery owns the accounting, nothing to do.
+		t.stats.StaleDrops++
+		return
+	}
 	if req.Video != t.vid {
-		panic("terminal: reply for a video no longer playing")
+		// Unreachable without the retry machinery (a movie only ends once
+		// every block arrived), but tolerate rather than crash.
+		t.stats.StaleDrops++
+		return
+	}
+	if req.Status != proto.StatusOK {
+		// NACK: the block's disk is fail-stopped. Fail over to a replica
+		// (or back off and retry the same copy) until retries run out.
+		t.stats.Nacks++
+		if pr == nil {
+			// Timeouts disabled (direct fault injection in tests): no
+			// retry machinery, the block is simply lost.
+			t.loseBlock(req.Block, req.Size, causeDiskFail)
+			return
+		}
+		t.retryOrGiveUp(pr, causeDiskFail)
+		return
+	}
+	if live {
+		delete(t.pending, req.Block)
 	}
 	t.outstanding -= req.Size
 	t.stats.BlocksReceived++
@@ -588,27 +680,39 @@ func (t *Terminal) applyArrival(req *proto.BlockRequest) {
 	if t.cfg.OnRespTime != nil {
 		t.cfg.OnRespTime(rt)
 	}
-	_, dup := t.ooo[req.Block]
-	if req.Block < t.frontierBlocks || dup {
+	t.admit(req.Block, req.Size)
+	t.wakeOnArrival()
+}
+
+// admit merges an arrived (or abandoned-hole) block into the stream
+// buffer, advancing the contiguous frontier over any out-of-order run.
+func (t *Terminal) admit(block int, size int64) {
+	_, dup := t.ooo[block]
+	if block < t.frontierBlocks || dup {
 		// Stale block from before a seek repositioned the stream (or a
 		// duplicate): the data is no longer wanted; only the space
-		// accounting mattered. The priming check below must still run —
-		// this arrival may have been the last outstanding one.
+		// accounting mattered. The priming check must still run — this
+		// arrival may have been the last outstanding one.
 		t.stats.StaleDrops++
-	} else {
-		t.ooo[req.Block] = req.Size
-		t.oooBytes += req.Size
-		for {
-			sz, ok := t.ooo[t.frontierBlocks]
-			if !ok {
-				break
-			}
-			delete(t.ooo, t.frontierBlocks)
-			t.oooBytes -= sz
-			t.frontierBytes += sz
-			t.frontierBlocks++
-		}
+		return
 	}
+	t.ooo[block] = size
+	t.oooBytes += size
+	for {
+		sz, ok := t.ooo[t.frontierBlocks]
+		if !ok {
+			break
+		}
+		delete(t.ooo, t.frontierBlocks)
+		t.oooBytes -= sz
+		t.frontierBytes += sz
+		t.frontierBlocks++
+	}
+}
+
+// wakeOnArrival re-evaluates the parked player and fetcher after any
+// change to the buffer or outstanding accounting.
+func (t *Terminal) wakeOnArrival() {
 	if t.playerWait != nil && t.primed() {
 		w := t.playerWait
 		t.playerWait = nil

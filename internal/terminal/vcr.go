@@ -100,6 +100,11 @@ func (t *Terminal) fetchSkimBlock(p *sim.Proc, block int) {
 		p.Sleep(t.cfg.SendLatency)
 	}
 	t.send(addr.Node, req)
+	if t.cfg.RequestTimeout > 0 {
+		// Failsafe under message loss: skim blocks are best-effort and
+		// not retried, but the player must not hang forever on one.
+		t.k.After(t.cfg.RequestTimeout*sim.Duration(t.cfg.MaxRetries+1), done.Fire)
+	}
 	done.Wait(p)
 	t.stats.SkimBlocks++
 	p.Sleep(segTime)
@@ -110,6 +115,11 @@ func (t *Terminal) fetchSkimBlock(p *sim.Proc, block int) {
 // re-primes the terminal's buffers from the new position. Replies still
 // in flight for the old position are dropped on arrival (StaleDrops).
 func (t *Terminal) repositionTo(block int) {
+	// Forget in-flight requests the retry machinery tracks: their replies
+	// are unwanted now, and the fetcher re-requests what the new position
+	// needs. (No-op when RequestTimeout is zero — in-flight replies then
+	// resolve their own accounting on arrival, as they always have.)
+	t.cancelPending()
 	blockSize := t.place.BlockSize()
 	t.frontierBlocks = block
 	t.frontierBytes = int64(block) * blockSize
