@@ -1,11 +1,13 @@
 # Tier-1 verification for the SPIFFI simulator. `make verify` is what CI
 # (and pre-commit discipline) runs: build, vet, the full test suite, and
-# a race-detector pass in short mode (the simulation-heavy experiment
-# tests skip themselves under -short; everything concurrent still runs).
+# a race-detector pass in short mode. The simulation-heavy experiment
+# tests skip themselves under -short, but the parallel-runner coverage
+# (core search parity and the fig09 worker-determinism check) does not,
+# so the race pass always exercises multi-worker execution.
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench
+.PHONY: all build vet test race determinism verify bench bench-workers
 
 all: verify
 
@@ -16,12 +18,21 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 30m ./...
 
 race:
 	$(GO) test -race -short ./...
+
+# The full worker-determinism suite: every registered experiment must
+# produce byte-identical results with Workers=1 and Workers=8.
+determinism:
+	$(GO) test -run Determinism -timeout 30m -v ./...
 
 verify: build vet test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# 1-worker vs GOMAXPROCS-worker quick-fidelity sweep (see bench_test.go).
+bench-workers:
+	$(GO) test -bench QuickWorkers -benchtime 1x -timeout 60m -run '^$$' .

@@ -158,6 +158,35 @@ func BenchmarkAdmissionBounds(b *testing.B) { runSingle(b, experiments.Admission
 
 func BenchmarkVCRSeek(b *testing.B) { runSingle(b, experiments.VCRSeek) }
 
+// benchWorkersSweep regenerates Figure 11 — a 12-search memory sweep,
+// the embarrassingly parallel shape the worker pool targets — at quick
+// fidelity with a fixed worker count. Compare the Workers1 and WorkersN
+// variants to measure the pool's speedup on a given machine:
+//
+//	go test -bench QuickWorkers -benchtime 1x -run '^$' .
+//
+// Results are bit-identical across the variants; only wall-clock moves.
+// On a single-core host the N-worker run cannot be faster (and pays a
+// little speculative work); the speedup materializes with GOMAXPROCS > 1.
+func benchWorkersSweep(b *testing.B, workers int) {
+	f := experiments.Quick()
+	f.Workers = workers
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Run("fig11", f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, results[0])
+		}
+	}
+}
+
+func BenchmarkFig11QuickWorkers1(b *testing.B) { benchWorkersSweep(b, 1) }
+
+// BenchmarkFig11QuickWorkersN uses GOMAXPROCS workers.
+func BenchmarkFig11QuickWorkersN(b *testing.B) { benchWorkersSweep(b, 0) }
+
 // BenchmarkSingleRun measures the simulator itself: one 200-terminal,
 // 16-disk run at bench fidelity, reporting simulation events/second.
 func BenchmarkSingleRun(b *testing.B) {

@@ -24,6 +24,7 @@ func main() {
 	fidelity := flag.String("fidelity", "quick", "bench|quick|full")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "text|csv|json")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 
 	if *list {
@@ -37,6 +38,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spiffi-bench: unknown fidelity %q\n", *fidelity)
 		os.Exit(2)
 	}
+	f.Workers = *workers
 
 	ids := experiments.IDs()
 	if *exp != "all" {

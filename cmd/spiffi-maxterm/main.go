@@ -46,26 +46,28 @@ func main() {
 		}
 	}
 
+	runner := core.NewRunner(*flags.Workers)
 	start := time.Now()
 	if *confidence {
-		iv, maxima, err := core.ConfidentMax(cfg, opt, 0.90, 0.05, 3, 10)
+		iv, maxima, err := runner.ConfidentMax(cfg, opt, 0.90, 0.05, 3, 10)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spiffi-maxterm:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("max terminals = %.0f ± %.1f (90%% confidence, seeds=%v)\n",
 			iv.Mean, iv.HalfWidth, maxima)
-		fmt.Printf("wall=%v\n", cli.FormatDuration(time.Since(start)))
+		fmt.Printf("workers=%d wall=%v\n", runner.Workers(), cli.FormatDuration(time.Since(start)))
 		return
 	}
 
-	res, err := core.FindMaxTerminals(cfg, opt)
+	res, err := runner.FindMaxTerminals(cfg, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spiffi-maxterm:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("max terminals = %d (step %d, %d runs, wall %v)\n",
-		res.MaxTerminals, *step, res.Runs, cli.FormatDuration(time.Since(start)))
+	fmt.Printf("max terminals = %d (step %d, %d runs consumed, %d executed, workers %d, wall %v)\n",
+		res.MaxTerminals, *step, res.Runs, res.TotalRuns, runner.Workers(),
+		cli.FormatDuration(time.Since(start)))
 	if len(res.AtMax) > 0 {
 		m := res.AtMax[0]
 		fmt.Printf("at max: disk util avg %.1f%%, cpu util avg %.1f%%, peak net %.1f MB/s\n",

@@ -56,6 +56,11 @@ type Flags struct {
 	ReqTimeoutS    *float64
 	Retries        *int
 	BackoffMS      *float64
+	BackoffCapMS   *float64
+
+	// Workers is not part of core.Config: it sizes the worker pool for
+	// tools that evaluate many runs (searches, sweeps).
+	Workers *int
 }
 
 // Register installs the common flags on fs.
@@ -98,6 +103,9 @@ func Register(fs *flag.FlagSet) *Flags {
 		ReqTimeoutS:    fs.Float64("reqtimeout", 0, "terminal request timeout in seconds (0 = default when faults on)"),
 		Retries:        fs.Int("retries", 0, "max retries per block (0 = default when faults on)"),
 		BackoffMS:      fs.Float64("backoff", 0, "first retry backoff in ms, doubling per retry (0 = default)"),
+		BackoffCapMS:   fs.Float64("backoffcap", 0, "retry backoff cap in ms (0 = 64x the base backoff)"),
+
+		Workers: fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); results are identical for any value"),
 	}
 }
 
@@ -196,6 +204,7 @@ func (f *Flags) Config() (core.Config, error) {
 	cfg.RequestTimeout = sim.DurationOfSeconds(*f.ReqTimeoutS)
 	cfg.MaxRetries = *f.Retries
 	cfg.RetryBackoff = sim.DurationOfSeconds(*f.BackoffMS / 1000)
+	cfg.RetryBackoffCap = sim.DurationOfSeconds(*f.BackoffCapMS / 1000)
 	return cfg, nil
 }
 

@@ -97,10 +97,14 @@ type Config struct {
 	// RequestTimeout/MaxRetries/RetryBackoff configure the terminals'
 	// degraded-mode retry machinery. A zero RequestTimeout disables it
 	// entirely (no timers are armed); Normalize fills all three with
-	// defaults whenever fault injection is enabled.
-	RequestTimeout sim.Duration
-	MaxRetries     int
-	RetryBackoff   sim.Duration
+	// defaults whenever fault injection is enabled. RetryBackoffCap
+	// clamps the exponential backoff growth (zero = 64x RetryBackoff) so
+	// large retry budgets cannot overflow the backoff into a negative
+	// duration.
+	RequestTimeout  sim.Duration
+	MaxRetries      int
+	RetryBackoff    sim.Duration
+	RetryBackoffCap sim.Duration
 }
 
 // DefaultConfig returns the paper's base configuration at a given
@@ -235,7 +239,7 @@ func (c Config) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
-	if c.RequestTimeout < 0 || c.MaxRetries < 0 || c.RetryBackoff < 0 {
+	if c.RequestTimeout < 0 || c.MaxRetries < 0 || c.RetryBackoff < 0 || c.RetryBackoffCap < 0 {
 		return fmt.Errorf("core: negative retry parameter")
 	}
 	if c.RequestTimeout > 0 && c.MaxRetries > 0 && c.RetryBackoff <= 0 {

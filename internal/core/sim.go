@@ -119,6 +119,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		RequestTimeout:        cfg.RequestTimeout,
 		MaxRetries:            cfg.MaxRetries,
 		RetryBackoff:          cfg.RetryBackoff,
+		RetryBackoffCap:       cfg.RetryBackoffCap,
 		OnRespTime: func(d sim.Duration) {
 			if s.measuring {
 				s.respHist.Add(d.Seconds())

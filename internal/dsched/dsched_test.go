@@ -155,6 +155,56 @@ func TestRoundRobinOldestPerTerminal(t *testing.T) {
 	}
 }
 
+// Regression: a terminal id that collided with the old 1<<62 "unset"
+// sentinel made the tie-break index rr.reqs[-1] and panicked. Any id must
+// be servable.
+func TestRoundRobinHugeTerminalIDNoPanic(t *testing.T) {
+	s := NewRoundRobin()
+	huge := req(10, 1<<62, 0)
+	s.Add(huge)
+	if got := s.Next(0, 0); got != huge {
+		t.Fatalf("huge-id request not served: %+v", got)
+	}
+}
+
+// Regression: the old fixed 1<<31 wrap constant mis-ordered terminal ids
+// at or beyond 2^31 — a wrapped small id could overtake a not-yet-served
+// huge id. The wrap is now derived from the observed id range, so cyclic
+// fairness holds for any ids.
+func TestRoundRobinOrdersIDsBeyondWrapConstant(t *testing.T) {
+	s := NewRoundRobin()
+	small := req(10, 1, 0)
+	big := req(20, 1<<31, 0)
+	bigger := req(30, 1<<40, 0)
+	s.Add(small)
+	s.Add(big)
+	s.Add(bigger)
+	var terms []int
+	for _, r := range drain(s, 0, 0) {
+		terms = append(terms, r.Terminal)
+	}
+	if !eqInts(terms, []int{1, 1 << 31, 1 << 40}) {
+		t.Fatalf("cyclic order = %v, want ascending from cursor", terms)
+	}
+	// Cyclic order resumes after the cursor: with the cursor at 5, the
+	// id 2^31+10 is ahead in the cycle and must be served before the
+	// cycle wraps back to id 3. The old fixed wrap put 3 first.
+	s2 := NewRoundRobin()
+	s2.Add(req(10, 5, 0))
+	if got := s2.Next(0, 0); got.Terminal != 5 {
+		t.Fatalf("setup: served %d", got.Terminal)
+	}
+	s2.Add(req(20, 3, 0))
+	s2.Add(req(30, 1<<31+10, 0))
+	var wrapTerms []int
+	for _, r := range drain(s2, 0, 0) {
+		wrapTerms = append(wrapTerms, r.Terminal)
+	}
+	if !eqInts(wrapTerms, []int{1<<31 + 10, 3}) {
+		t.Fatalf("post-cursor order = %v, want 2^31+10 then 3", wrapTerms)
+	}
+}
+
 func TestGSSOneGroupServicesEachTerminalOncePerSweep(t *testing.T) {
 	s := NewGSS(1)
 	// Terminal 0 has two requests; terminal 1 has one.

@@ -99,17 +99,27 @@ func (rr *RoundRobin) Next(_ sim.Time, _ int) *Request {
 	if len(rr.reqs) == 0 {
 		return nil
 	}
+	// Wrap one past the largest terminal id in play (queue or cursor), so
+	// every id orders cyclically after the cursor whatever the id range —
+	// a fixed constant would silently mis-order ids at or beyond it.
+	wrap := rr.cursor
+	for _, r := range rr.reqs {
+		if r.Terminal > wrap {
+			wrap = r.Terminal
+		}
+	}
+	wrap++
 	// Choose the terminal with the smallest cyclic distance from the
-	// cursor, then that terminal's oldest request.
+	// cursor, then that terminal's oldest request. bestIdx is guarded
+	// explicitly: no key value doubles as an "unset" sentinel.
 	bestIdx := -1
-	bestKey := 1 << 62
+	bestKey := 0
 	for i, r := range rr.reqs {
 		key := r.Terminal - rr.cursor - 1
 		if key < 0 {
-			// Wrap far enough that all ids order cyclically after cursor.
-			key += 1 << 31
+			key += wrap
 		}
-		if key < bestKey || (key == bestKey && r.Seq < rr.reqs[bestIdx].Seq) {
+		if bestIdx == -1 || key < bestKey || (key == bestKey && r.Seq < rr.reqs[bestIdx].Seq) {
 			bestKey = key
 			bestIdx = i
 		}

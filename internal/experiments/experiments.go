@@ -50,6 +50,7 @@ func Fig08Zipf(f Fidelity) (Result, error) {
 // terminals for the base configuration, showing the knee the §7.1
 // methodology searches for.
 func Fig09GlitchCurve(f Fidelity) (Result, error) {
+	f = f.withPool()
 	cfg := base()
 	cfg.ServerMemBytes = 4 * core.GB
 	r, err := f.search(cfg, 0, 0)
@@ -63,7 +64,7 @@ func Fig09GlitchCurve(f Fidelity) (Result, error) {
 			counts = append(counts, max+d)
 		}
 	}
-	curve, err := core.GlitchCurve(f.apply(cfg), counts)
+	curve, err := f.pool().GlitchCurve(f.apply(cfg), counts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -102,39 +103,86 @@ func Fig10SchedStripe(f Fidelity) (Result, error) {
 		XLabel: "stripe size (KB)",
 		YLabel: "max terminals",
 	}
-	for _, sc := range fig10Algs() {
-		s := Series{Name: sc.String()}
-		for _, kb := range f.StripePointsKB {
+	f = f.withPool()
+	algs := fig10Algs()
+	series := make([]Series, len(algs))
+	err := fanout(len(algs), func(a int) error {
+		sc := algs[a]
+		maxes := make([]int, len(f.StripePointsKB))
+		err := fanout(len(f.StripePointsKB), func(i int) error {
+			kb := f.StripePointsKB[i]
 			cfg := base()
 			cfg.Sched = sc
 			cfg.StripeBytes = kb * core.KB
 			r, err := f.search(cfg, 0, 0)
 			if err != nil {
-				return res, fmt.Errorf("%v stripe=%dKB: %w", sc, kb, err)
+				return fmt.Errorf("%v stripe=%dKB: %w", sc, kb, err)
 			}
-			s.Points = append(s.Points, Point{X: float64(kb), Y: float64(r.MaxTerminals)})
+			maxes[i] = r.MaxTerminals
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		res.Series = append(res.Series, s)
+		s := Series{Name: sc.String()}
+		for i, kb := range f.StripePointsKB {
+			s.Points = append(s.Points, Point{X: float64(kb), Y: float64(maxes[i])})
+		}
+		series[a] = s
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Series = series
 	return res, nil
 }
 
-// memSweep runs a server-memory sweep for one configuration variant.
+// memSweep runs a server-memory sweep for one configuration variant,
+// searching the sweep points concurrently on the shared pool.
 func memSweep(f Fidelity, name string, mutate func(*core.Config)) (Series, []core.SearchResult, error) {
+	f = f.withPool()
 	s := Series{Name: name}
-	var results []core.SearchResult
-	for _, mb := range f.MemoryPointsMB {
+	results := make([]core.SearchResult, len(f.MemoryPointsMB))
+	err := fanout(len(f.MemoryPointsMB), func(i int) error {
+		mb := f.MemoryPointsMB[i]
 		cfg := base()
 		cfg.ServerMemBytes = mb * core.MB
 		mutate(&cfg)
 		r, err := f.search(cfg, 0, 0)
 		if err != nil {
-			return s, nil, fmt.Errorf("%s mem=%dMB: %w", name, mb, err)
+			return fmt.Errorf("%s mem=%dMB: %w", name, mb, err)
 		}
-		s.Points = append(s.Points, Point{X: float64(mb), Y: float64(r.MaxTerminals)})
-		results = append(results, r)
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return s, nil, err
+	}
+	for i, mb := range f.MemoryPointsMB {
+		s.Points = append(s.Points, Point{X: float64(mb), Y: float64(results[i].MaxTerminals)})
 	}
 	return s, results, nil
+}
+
+// variantSweep fans the named memSweep variants out concurrently,
+// returning one series per variant in input order.
+func variantSweep(f Fidelity, names []string, mutates []func(*core.Config)) ([]Series, [][]core.SearchResult, error) {
+	f = f.withPool()
+	series := make([]Series, len(names))
+	results := make([][]core.SearchResult, len(names))
+	err := fanout(len(names), func(i int) error {
+		s, rs, err := memSweep(f, names[i], mutates[i])
+		if err != nil {
+			return err
+		}
+		series[i], results[i] = s, rs
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return series, results, nil
 }
 
 // Fig11MemoryElevator reproduces Figure 11: max terminals vs. server
@@ -146,20 +194,16 @@ func Fig11MemoryElevator(f Fidelity) (Result, error) {
 		XLabel: "server memory (MB)",
 		YLabel: "max terminals",
 	}
-	variants := []struct {
-		name   string
-		mutate func(*core.Config)
-	}{
-		{"global-lru", func(c *core.Config) { c.Replacement = bufferpool.PolicyGlobalLRU }},
-		{"love-prefetch", func(c *core.Config) { c.Replacement = bufferpool.PolicyLovePrefetch }},
+	series, _, err := variantSweep(f,
+		[]string{"global-lru", "love-prefetch"},
+		[]func(*core.Config){
+			func(c *core.Config) { c.Replacement = bufferpool.PolicyGlobalLRU },
+			func(c *core.Config) { c.Replacement = bufferpool.PolicyLovePrefetch },
+		})
+	if err != nil {
+		return res, err
 	}
-	for _, v := range variants {
-		s, _, err := memSweep(f, v.name, v.mutate)
-		if err != nil {
-			return res, err
-		}
-		res.Series = append(res.Series, s)
-	}
+	res.Series = series
 	return res, nil
 }
 
@@ -173,36 +217,32 @@ func Fig12MemoryRealTime(f Fidelity) (Result, error) {
 		XLabel: "server memory (MB)",
 		YLabel: "max terminals",
 	}
-	variants := []struct {
-		name   string
-		mutate func(*core.Config)
-	}{
-		{"global-lru", func(c *core.Config) {
-			c.Sched = rt34()
-			c.Replacement = bufferpool.PolicyGlobalLRU
-		}},
-		{"love-prefetch", func(c *core.Config) {
-			c.Sched = rt34()
-			c.Replacement = bufferpool.PolicyLovePrefetch
-		}},
-		{"love+delayed(8s)", func(c *core.Config) {
-			c.Sched = rt34()
-			c.Replacement = bufferpool.PolicyLovePrefetch
-			c.Prefetch = prefetch.Config{Mode: prefetch.ModeDelayed, MaxAdvance: 8 * sim.Second}
-		}},
-		{"love+delayed(4s)", func(c *core.Config) {
-			c.Sched = rt34()
-			c.Replacement = bufferpool.PolicyLovePrefetch
-			c.Prefetch = prefetch.Config{Mode: prefetch.ModeDelayed, MaxAdvance: 4 * sim.Second}
-		}},
+	series, _, err := variantSweep(f,
+		[]string{"global-lru", "love-prefetch", "love+delayed(8s)", "love+delayed(4s)"},
+		[]func(*core.Config){
+			func(c *core.Config) {
+				c.Sched = rt34()
+				c.Replacement = bufferpool.PolicyGlobalLRU
+			},
+			func(c *core.Config) {
+				c.Sched = rt34()
+				c.Replacement = bufferpool.PolicyLovePrefetch
+			},
+			func(c *core.Config) {
+				c.Sched = rt34()
+				c.Replacement = bufferpool.PolicyLovePrefetch
+				c.Prefetch = prefetch.Config{Mode: prefetch.ModeDelayed, MaxAdvance: 8 * sim.Second}
+			},
+			func(c *core.Config) {
+				c.Sched = rt34()
+				c.Replacement = bufferpool.PolicyLovePrefetch
+				c.Prefetch = prefetch.Config{Mode: prefetch.ModeDelayed, MaxAdvance: 4 * sim.Second}
+			},
+		})
+	if err != nil {
+		return res, err
 	}
-	for _, v := range variants {
-		s, _, err := memSweep(f, v.name, v.mutate)
-		if err != nil {
-			return res, err
-		}
-		res.Series = append(res.Series, s)
-	}
+	res.Series = series
 	return res, nil
 }
 
@@ -233,19 +273,25 @@ func Fig13And14Striping(f Fidelity) (Result, Result, error) {
 		{"non-striped/zipf", false, 1.0},
 		{"non-striped/uniform", false, 0},
 	}
-	for _, v := range variants {
+	names := make([]string, len(variants))
+	mutates := make([]func(*core.Config), len(variants))
+	for i, v := range variants {
 		v := v
-		s, results, err := memSweep(f, v.name, func(c *core.Config) {
+		names[i] = v.name
+		mutates[i] = func(c *core.Config) {
 			c.Replacement = bufferpool.PolicyLovePrefetch
 			c.Striped = v.striped
 			c.ZipfZ = v.zipf
-		})
-		if err != nil {
-			return fig13, fig14, err
 		}
+	}
+	series, results, err := variantSweep(f, names, mutates)
+	if err != nil {
+		return fig13, fig14, err
+	}
+	for vi, s := range series {
 		fig13.Series = append(fig13.Series, s)
-		util := Series{Name: v.name}
-		for i, r := range results {
+		util := Series{Name: s.Name}
+		for i, r := range results[vi] {
 			u := 0.0
 			if len(r.AtMax) > 0 {
 				u = r.AtMax[0].DiskUtilAvg * 100
@@ -274,22 +320,28 @@ func Fig15And16AccessFrequencies(f Fidelity) (Result, Result, error) {
 		XLabel: "server memory (MB)",
 		YLabel: "shared references (%)",
 	}
-	for _, z := range []float64{0, 0.5, 1.0, 1.5} {
+	zs := []float64{0, 0.5, 1.0, 1.5}
+	names := make([]string, len(zs))
+	mutates := make([]func(*core.Config), len(zs))
+	for i, z := range zs {
 		z := z
-		name := fmt.Sprintf("z=%.1f", z)
+		names[i] = fmt.Sprintf("z=%.1f", z)
 		if z == 0 {
-			name = "uniform"
+			names[i] = "uniform"
 		}
-		s, results, err := memSweep(f, name, func(c *core.Config) {
+		mutates[i] = func(c *core.Config) {
 			c.Replacement = bufferpool.PolicyLovePrefetch
 			c.ZipfZ = z
-		})
-		if err != nil {
-			return fig15, fig16, err
 		}
+	}
+	series, results, err := variantSweep(f, names, mutates)
+	if err != nil {
+		return fig15, fig16, err
+	}
+	for vi, s := range series {
 		fig15.Series = append(fig15.Series, s)
-		shared := Series{Name: name}
-		for i, r := range results {
+		shared := Series{Name: s.Name}
+		for i, r := range results[vi] {
 			v := 0.0
 			if len(r.AtMax) > 0 {
 				v = r.AtMax[0].Pool.SharedFraction() * 100
@@ -317,23 +369,19 @@ func Fig19Pause(f Fidelity) (Result, error) {
 	if f.VideoLength < 30*sim.Minute {
 		pauseDur = f.VideoLength / 30
 	}
-	variants := []struct {
-		name   string
-		mutate func(*core.Config)
-	}{
-		{"no pauses", func(c *core.Config) { c.Replacement = bufferpool.PolicyLovePrefetch }},
-		{"with pauses", func(c *core.Config) {
-			c.Replacement = bufferpool.PolicyLovePrefetch
-			c.Pause = &terminal.PauseConfig{MeanPauses: 2, MeanDuration: pauseDur}
-		}},
+	series, _, err := variantSweep(f,
+		[]string{"no pauses", "with pauses"},
+		[]func(*core.Config){
+			func(c *core.Config) { c.Replacement = bufferpool.PolicyLovePrefetch },
+			func(c *core.Config) {
+				c.Replacement = bufferpool.PolicyLovePrefetch
+				c.Pause = &terminal.PauseConfig{MeanPauses: 2, MeanDuration: pauseDur}
+			},
+		})
+	if err != nil {
+		return res, err
 	}
-	for _, v := range variants {
-		s, _, err := memSweep(f, v.name, v.mutate)
-		if err != nil {
-			return res, err
-		}
-		res.Series = append(res.Series, s)
-	}
+	res.Series = series
 	return res, nil
 }
 
@@ -352,8 +400,11 @@ func Piggyback(f Fidelity) (Result, error) {
 	if f.VideoLength < 60*sim.Minute {
 		delay = f.VideoLength / 12
 	}
-	s := Series{Name: "max terminals"}
-	for _, d := range []sim.Duration{0, delay} {
+	f = f.withPool()
+	delays := []sim.Duration{0, delay}
+	maxes := make([]int, len(delays))
+	err := fanout(len(delays), func(i int) error {
+		d := delays[i]
 		cfg := base()
 		cfg.Replacement = bufferpool.PolicyLovePrefetch
 		cfg.ServerMemBytes = 512 * core.MB
@@ -365,9 +416,17 @@ func Piggyback(f Fidelity) (Result, error) {
 		}
 		r, err := f.search(cfg, 0, hi)
 		if err != nil {
-			return res, fmt.Errorf("delay=%v: %w", d, err)
+			return fmt.Errorf("delay=%v: %w", d, err)
 		}
-		s.Points = append(s.Points, Point{X: d.Seconds(), Y: float64(r.MaxTerminals)})
+		maxes[i] = r.MaxTerminals
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	s := Series{Name: "max terminals"}
+	for i, d := range delays {
+		s.Points = append(s.Points, Point{X: d.Seconds(), Y: float64(maxes[i])})
 	}
 	res.Series = append(res.Series, s)
 	if len(s.Points) == 2 && s.Points[0].Y > 0 {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"time"
 )
 
 // Export helpers: experiment results render to CSV (one row per X value,
@@ -52,7 +53,9 @@ func (r Result) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// resultJSON is the stable exported JSON shape.
+// resultJSON is the stable exported JSON shape. Workers and WallMS are
+// execution provenance; omitted when unset so archives produced before
+// the parallel runner still round-trip byte-identically.
 type resultJSON struct {
 	ID     string       `json:"id"`
 	Title  string       `json:"title"`
@@ -60,6 +63,9 @@ type resultJSON struct {
 	YLabel string       `json:"y_label"`
 	Series []seriesJSON `json:"series"`
 	Notes  []string     `json:"notes,omitempty"`
+
+	Workers int   `json:"workers,omitempty"`
+	WallMS  int64 `json:"wall_ms,omitempty"`
 }
 
 type seriesJSON struct {
@@ -70,11 +76,13 @@ type seriesJSON struct {
 // WriteJSON writes the result as indented JSON.
 func (r Result) WriteJSON(w io.Writer) error {
 	out := resultJSON{
-		ID:     r.ID,
-		Title:  r.Title,
-		XLabel: r.XLabel,
-		YLabel: r.YLabel,
-		Notes:  r.Notes,
+		ID:      r.ID,
+		Title:   r.Title,
+		XLabel:  r.XLabel,
+		YLabel:  r.YLabel,
+		Notes:   r.Notes,
+		Workers: r.Workers,
+		WallMS:  r.WallClock.Milliseconds(),
 	}
 	for _, s := range r.Series {
 		sj := seriesJSON{Name: s.Name}
@@ -96,11 +104,13 @@ func ReadJSON(rd io.Reader) (Result, error) {
 		return Result{}, fmt.Errorf("experiments: decoding result: %w", err)
 	}
 	out := Result{
-		ID:     in.ID,
-		Title:  in.Title,
-		XLabel: in.XLabel,
-		YLabel: in.YLabel,
-		Notes:  in.Notes,
+		ID:        in.ID,
+		Title:     in.Title,
+		XLabel:    in.XLabel,
+		YLabel:    in.YLabel,
+		Notes:     in.Notes,
+		Workers:   in.Workers,
+		WallClock: time.Duration(in.WallMS) * time.Millisecond,
 	}
 	for _, sj := range in.Series {
 		s := Series{Name: sj.Name}

@@ -13,6 +13,8 @@
 package experiments
 
 import (
+	"sync"
+
 	"spiffi/internal/core"
 	"spiffi/internal/sim"
 )
@@ -35,6 +37,35 @@ type Fidelity struct {
 	// ScaleFactors lists the scaleup multipliers for Table 2 (nil = the
 	// paper's 1, 2, 4).
 	ScaleFactors []int
+
+	// Workers bounds how many simulations run concurrently across the
+	// whole experiment (sweep points, search probes, seed replications
+	// all share the bound); <= 0 selects GOMAXPROCS. Results are
+	// bit-identical whatever the value — see core.Runner.
+	Workers int
+
+	// run is the shared worker pool, created lazily by withPool so one
+	// experiment's nested fan-out shares a single concurrency bound.
+	run *core.Runner
+}
+
+// withPool returns f with its worker pool materialized. Every exported
+// harness calls it on entry; interior helpers (memSweep, search) then
+// find the pool already set and share it.
+func (f Fidelity) withPool() Fidelity {
+	if f.run == nil {
+		f.run = core.NewRunner(f.Workers)
+	}
+	return f
+}
+
+// pool returns the fidelity's worker pool, creating a fresh one if the
+// harness was somehow entered without withPool.
+func (f Fidelity) pool() *core.Runner {
+	if f.run == nil {
+		return core.NewRunner(f.Workers)
+	}
+	return f.run
 }
 
 // Bench is the smallest fidelity, sized so that one experiment fits in a
@@ -106,9 +137,33 @@ func (f Fidelity) apply(cfg core.Config) core.Config {
 	return cfg
 }
 
-// search runs the max-terminal search at this fidelity.
+// search runs the max-terminal search at this fidelity on the shared
+// worker pool.
 func (f Fidelity) search(cfg core.Config, hintLo, hintHi int) (core.SearchResult, error) {
-	return core.FindMaxTerminals(f.apply(cfg), core.SearchOptions{
+	return f.pool().FindMaxTerminals(f.apply(cfg), core.SearchOptions{
 		Lo: hintLo, Hi: hintHi, Step: f.Step, Seeds: f.Seeds,
 	})
+}
+
+// fanout runs n independent jobs concurrently, collecting results by
+// index. The worker pool bounds actual simulation concurrency, so these
+// goroutines are cheap coordinators; on failure the first error in index
+// order is returned, matching what a sequential loop would report.
+func fanout(n int, job func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Runner regenerates one or more figures/tables at a fidelity.
@@ -82,11 +83,20 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes one experiment id.
+// Run executes one experiment id on the fidelity's worker pool and
+// stamps each result with the worker count and wall-clock time.
 func Run(id string, f Fidelity) ([]Result, error) {
 	r, ok := Registry()[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
-	return r(f)
+	f = f.withPool()
+	start := time.Now()
+	results, err := r(f)
+	elapsed := time.Since(start)
+	for i := range results {
+		results[i].Workers = f.pool().Workers()
+		results[i].WallClock = elapsed
+	}
+	return results, err
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Point is one (x, y) sample of a series.
@@ -25,6 +26,12 @@ type Result struct {
 	YLabel string
 	Series []Series
 	Notes  []string
+
+	// Workers and WallClock record how the experiment was executed —
+	// provenance only, stamped by Run. The data above is bit-identical
+	// for every worker count.
+	Workers   int
+	WallClock time.Duration
 }
 
 // Format renders the result as an aligned text table: the X column

@@ -69,37 +69,45 @@ type ScaleupData struct {
 // RunScaleup executes the §7.6 scaleup experiment for every Table 2
 // configuration and scale factor.
 func RunScaleup(f Fidelity) (*ScaleupData, error) {
+	f = f.withPool()
 	factors := f.ScaleFactors
 	if len(factors) == 0 {
 		factors = []int{1, 2, 4}
 	}
+	configs := table2Configs()
 	data := &ScaleupData{Fidelity: f, Factors: factors}
-	for _, sc := range table2Configs() {
-		data.Configs = append(data.Configs, sc.name)
-		var maxes []int
-		var cpus, nets, disks []float64
-		for _, factor := range factors {
+	data.Max = make([][]int, len(configs))
+	data.CPUUtil = make([][]float64, len(configs))
+	data.PeakNetMBs = make([][]float64, len(configs))
+	data.DiskUtil = make([][]float64, len(configs))
+	err := fanout(len(configs), func(c int) error {
+		sc := configs[c]
+		data.Max[c] = make([]int, len(factors))
+		data.CPUUtil[c] = make([]float64, len(factors))
+		data.PeakNetMBs[c] = make([]float64, len(factors))
+		data.DiskUtil[c] = make([]float64, len(factors))
+		return fanout(len(factors), func(i int) error {
+			factor := factors[i]
 			cfg := sc.configAtScale(factor)
 			r, err := f.search(cfg, 0, 0)
 			if err != nil {
-				return nil, fmt.Errorf("%s x%d: %w", sc.name, factor, err)
+				return fmt.Errorf("%s x%d: %w", sc.name, factor, err)
 			}
-			maxes = append(maxes, r.MaxTerminals)
-			cpu, net, du := 0.0, 0.0, 0.0
+			data.Max[c][i] = r.MaxTerminals
 			if len(r.AtMax) > 0 {
 				m := r.AtMax[0]
-				cpu = m.CPUUtilAvg * 100
-				net = m.PeakNetBandwidth / 1e6
-				du = m.DiskUtilAvg * 100
+				data.CPUUtil[c][i] = m.CPUUtilAvg * 100
+				data.PeakNetMBs[c][i] = m.PeakNetBandwidth / 1e6
+				data.DiskUtil[c][i] = m.DiskUtilAvg * 100
 			}
-			cpus = append(cpus, cpu)
-			nets = append(nets, net)
-			disks = append(disks, du)
-		}
-		data.Max = append(data.Max, maxes)
-		data.CPUUtil = append(data.CPUUtil, cpus)
-		data.PeakNetMBs = append(data.PeakNetMBs, nets)
-		data.DiskUtil = append(data.DiskUtil, disks)
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sc := range configs {
+		data.Configs = append(data.Configs, sc.name)
 	}
 	return data, nil
 }

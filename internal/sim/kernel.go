@@ -39,9 +39,10 @@ type Kernel struct {
 	panicStack []byte
 	closed     bool
 
-	// MaxEvents, when non-zero, aborts Run with an error after that many
-	// events have been dispatched. It is a guard against accidental
-	// infinite event loops in tests.
+	// MaxEvents, when non-zero, aborts Run with an error once that many
+	// events have been dispatched and more remain — the check happens
+	// before each dispatch, so exactly MaxEvents events ever run. It is a
+	// guard against accidental infinite event loops in tests.
 	MaxEvents uint64
 }
 
@@ -88,15 +89,15 @@ func (k *Kernel) Run(until Time) error {
 		if k.heap[0].t > until {
 			break
 		}
+		if k.MaxEvents != 0 && k.events >= k.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", k.MaxEvents, k.now)
+		}
 		ev := k.pop()
 		k.now = ev.t
 		k.events++
 		ev.fn()
 		if k.panicVal != nil {
 			return fmt.Errorf("sim: process panic: %v\n%s", k.panicVal, k.panicStack)
-		}
-		if k.MaxEvents != 0 && k.events > k.MaxEvents {
-			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", k.MaxEvents, k.now)
 		}
 	}
 	if until > k.now {

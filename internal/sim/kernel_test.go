@@ -145,6 +145,42 @@ func TestMaxEventsGuard(t *testing.T) {
 	}
 }
 
+// Regression: the guard used to be checked after dispatch, so the kernel
+// ran one event past the stated limit. The check now happens before
+// dispatch — exactly MaxEvents events run, never MaxEvents+1.
+func TestMaxEventsExactAbortCount(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	k.MaxEvents = 5
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		k.After(Duration(i), func() { ran++ })
+	}
+	if err := k.RunAll(); err == nil {
+		t.Fatal("expected MaxEvents error")
+	}
+	if ran != 5 || k.Events() != 5 {
+		t.Fatalf("dispatched %d events (counter %d), want exactly MaxEvents=5", ran, k.Events())
+	}
+}
+
+// A calendar holding exactly MaxEvents events drains without error: the
+// guard fires only when the limit would be exceeded.
+func TestMaxEventsExactFitIsNoError(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	k.MaxEvents = 5
+	for i := 1; i <= 5; i++ {
+		k.After(Duration(i), func() {})
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatalf("exact-fit calendar errored: %v", err)
+	}
+	if k.Events() != 5 {
+		t.Fatalf("events = %d, want 5", k.Events())
+	}
+}
+
 func TestCloseKillsParkedProcesses(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for trial := 0; trial < 20; trial++ {

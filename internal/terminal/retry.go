@@ -2,6 +2,7 @@ package terminal
 
 import (
 	"spiffi/internal/proto"
+	"spiffi/internal/sim"
 )
 
 // This file is the terminal's degraded-mode machinery: request timeouts,
@@ -54,8 +55,7 @@ func (t *Terminal) retryOrGiveUp(pr *pendingReq, cause glitchCause) {
 		t.loseBlock(pr.block, pr.size, cause)
 		return
 	}
-	// Backoff doubles per retry: RetryBackoff, 2x, 4x, ...
-	backoff := t.cfg.RetryBackoff << (pr.tries - 1)
+	backoff := t.backoffFor(pr.tries)
 	gen := pr.gen
 	t.k.After(backoff+t.cfg.SendLatency, func() {
 		if t.pending[pr.block] != pr || pr.gen != gen || t.vid != pr.vid {
@@ -65,6 +65,26 @@ func (t *Terminal) retryOrGiveUp(pr *pendingReq, cause glitchCause) {
 		}
 		t.resend(pr)
 	})
+}
+
+// backoffFor returns the exponential backoff before attempt tries+1:
+// RetryBackoff doubling per retry, clamped to RetryBackoffCap (64x the
+// base when unset). The clamp keeps large retry budgets from shifting
+// the duration past int64 into a negative value, which would panic the
+// kernel ("scheduling event in the past").
+func (t *Terminal) backoffFor(tries int) sim.Duration {
+	backoff := t.cfg.RetryBackoff
+	limit := t.cfg.RetryBackoffCap
+	if limit <= 0 {
+		limit = 64 * t.cfg.RetryBackoff
+	}
+	for i := 1; i < tries && backoff < limit; i++ {
+		backoff *= 2
+	}
+	if backoff > limit {
+		backoff = limit
+	}
+	return backoff
 }
 
 // resend issues the next attempt for the block, rotating to the replica

@@ -163,6 +163,61 @@ func TestRetryTimeoutPath(t *testing.T) {
 	}
 }
 
+// The exponential backoff must clamp: unclamped, tries=70 would shift
+// the base past int64 into a negative duration. The default cap is 64x
+// the base; an explicit RetryBackoffCap overrides it.
+func TestRetryBackoffClamped(t *testing.T) {
+	cfg := retryCfg()
+	rig := newRig(t, cfg, 5*sim.Millisecond)
+	defer rig.k.Close()
+	tm := rig.term
+	base := cfg.RetryBackoff
+	cases := []struct {
+		tries int
+		want  sim.Duration
+	}{
+		{1, base},
+		{2, 2 * base},
+		{7, 64 * base},
+		{8, 64 * base},  // clamped at the default 64x cap
+		{70, 64 * base}, // would be negative without the clamp
+		{500, 64 * base},
+	}
+	for _, c := range cases {
+		if got := tm.backoffFor(c.tries); got != c.want {
+			t.Fatalf("backoffFor(%d) = %v, want %v", c.tries, got, c.want)
+		}
+		if got := tm.backoffFor(c.tries); got < 0 {
+			t.Fatalf("backoffFor(%d) went negative", c.tries)
+		}
+	}
+	cfg.RetryBackoffCap = 5 * base
+	rig2 := newRig(t, cfg, 5*sim.Millisecond)
+	defer rig2.k.Close()
+	if got := rig2.term.backoffFor(10); got != 5*base {
+		t.Fatalf("explicit cap ignored: backoffFor(10) = %v, want %v", got, 5*base)
+	}
+}
+
+// End-to-end regression: a huge retry budget against a silently dead
+// path must resolve through the clamped backoff instead of panicking the
+// kernel with a negative ("in the past") timer.
+func TestRetryHugeBudgetNoPanic(t *testing.T) {
+	cfg := retryCfg()
+	cfg.RequestTimeout = 20 * sim.Millisecond
+	cfg.RetryBackoff = 1 * sim.Millisecond
+	cfg.MaxRetries = 80
+	fr := newFaultRig(t, cfg, 1, 81)
+	fr.silent = true
+	st := fr.run(t, 120*sim.Second)
+	if st.Retries != 80 {
+		t.Fatalf("retries = %d, want the full 80-attempt budget", st.Retries)
+	}
+	if st.LostBlocks != 1 || st.GlitchesTimeout != 1 {
+		t.Fatalf("lost=%d timeoutGlitches=%d, want both 1", st.LostBlocks, st.GlitchesTimeout)
+	}
+}
+
 // Without the retry machinery a NACK must still resolve the block —
 // otherwise the outstanding-byte ledger leaks and the stream wedges.
 func TestNackWithoutRetryMachinery(t *testing.T) {

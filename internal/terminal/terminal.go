@@ -78,6 +78,12 @@ type Config struct {
 	RequestTimeout sim.Duration
 	MaxRetries     int
 	RetryBackoff   sim.Duration
+
+	// RetryBackoffCap bounds the exponential backoff growth; zero picks
+	// 64x RetryBackoff. Without a cap a large retry budget would shift
+	// the backoff past the int64 range into a negative duration, which
+	// the kernel rejects as scheduling in the past.
+	RetryBackoffCap sim.Duration
 }
 
 // Stats aggregates one terminal's counters.

@@ -55,6 +55,10 @@ type SearchResult = core.SearchResult
 // Simulation is an assembled run (NewSimulation + Run for two-phase use).
 type Simulation = core.Simulation
 
+// Runner evaluates independent simulations concurrently on a bounded
+// worker pool; every result is bit-identical to sequential execution.
+type Runner = core.Runner
+
 // SchedConfig selects and parameterizes a disk scheduling algorithm.
 type SchedConfig = dsched.Config
 
@@ -131,6 +135,12 @@ func NewSimulation(cfg Config) (*Simulation, error) { return core.NewSimulation(
 
 // Run builds and executes one simulation, returning its metrics.
 func Run(cfg Config) (Metrics, error) { return core.Run(cfg) }
+
+// NewRunner returns a worker pool evaluating at most `workers`
+// simulations concurrently (0 = GOMAXPROCS). Its FindMaxTerminals,
+// GlitchCurve, ConfidentMax and RunMany methods parallelize the
+// package-level functions of the same names with bit-identical results.
+func NewRunner(workers int) *Runner { return core.NewRunner(workers) }
 
 // FindMaxTerminals searches for the largest glitch-free terminal count —
 // the paper's primary performance metric (§7.1).
