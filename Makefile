@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race determinism verify bench bench-workers
+.PHONY: all build vet test race determinism verify bench bench-workers trace-guard trace-demo
 
 all: verify
 
@@ -28,7 +28,22 @@ race:
 determinism:
 	$(GO) test -run Determinism -timeout 30m -v ./...
 
-verify: build vet test race
+# Observability guards (OBSERVABILITY.md): disabled tracing must perturb
+# nothing and stay under 2% overhead, and the trace package's exporters
+# must hold their formats. Both run in short mode, so `verify` exercises
+# them twice (here and in the race pass); the explicit target keeps the
+# contract visible and quick to iterate on.
+trace-guard:
+	$(GO) test -short -run TracingNeutralityAndOverhead .
+	$(GO) test -short ./internal/trace/
+
+verify: build vet test race trace-guard
+
+# End-to-end observability demo: run a traced Figure-10-style workload,
+# write JSONL + Chrome trace files, and validate the Chrome JSON parses
+# (the example program fails if it does not).
+trace-demo:
+	$(GO) run ./examples/tracing
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

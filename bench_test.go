@@ -204,3 +204,29 @@ func BenchmarkSingleRun(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "sim-events/s")
 }
+
+// BenchmarkSingleRunTraced is BenchmarkSingleRun with the structured
+// event recorder on: the delta against the untraced benchmark is the
+// enabled-tracing cost (ring writes plus three online histograms).
+// Disabled tracing is guarded separately — and analytically — by
+// TestTracingNeutralityAndOverhead.
+func BenchmarkSingleRunTraced(b *testing.B) {
+	cfg := spiffi.DefaultConfig(200)
+	cfg.Video.Length = 6 * spiffi.Minute
+	cfg.MeasureTime = 45 * spiffi.Second
+	cfg.StartWindow = 20 * spiffi.Second
+	cfg.Trace = spiffi.TraceOptions{Enabled: true}
+	var events, emitted uint64
+	for i := 0; i < b.N; i++ {
+		m, err := spiffi.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += m.Events
+		if m.Trace != nil {
+			emitted += m.Trace.Total
+		}
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "sim-events/s")
+	b.ReportMetric(float64(emitted)/float64(b.N), "trace-events/run")
+}

@@ -8,15 +8,30 @@
 //
 // Fidelity levels: bench (seconds), quick (a minute or two per
 // experiment, the default), full (the paper's own scale; slow).
+//
+// Observability (OBSERVABILITY.md): -trace records structured events in
+// every simulation and files one export per consumed at-max run;
+// -pprof serves net/http/pprof for live CPU/heap profiling of the
+// harness itself; -runtime-trace captures a Go execution trace.
+//
+//	spiffi-bench -exp fig09 -fidelity bench -trace chrome -trace-out /tmp/traces
+//	spiffi-bench -exp fig10 -pprof localhost:6060 -runtime-trace bench.trace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
+	rtrace "runtime/trace"
+
 	"spiffi/internal/experiments"
+	"spiffi/internal/trace"
 )
 
 func main() {
@@ -25,6 +40,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "text|csv|json")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); results are identical for any value")
+	traceFmt := flag.String("trace", "", "record per-run structured events and file jsonl|chrome|summary exports (empty = off)")
+	traceOut := flag.String("trace-out", ".", "directory for per-run trace files (with -trace)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	runtimeTrace := flag.String("runtime-trace", "", "write a Go runtime execution trace to this file")
 	flag.Parse()
 
 	if *list {
@@ -40,6 +59,71 @@ func main() {
 	}
 	f.Workers = *workers
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "spiffi-bench: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *runtimeTrace != "" {
+		out, err := os.Create(*runtimeTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spiffi-bench: runtime trace:", err)
+			os.Exit(1)
+		}
+		if err := rtrace.Start(out); err != nil {
+			fmt.Fprintln(os.Stderr, "spiffi-bench: runtime trace:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			rtrace.Stop()
+			out.Close()
+			fmt.Fprintf(os.Stderr, "runtime trace written to %s (view: go tool trace %s)\n",
+				*runtimeTrace, *runtimeTrace)
+		}()
+	}
+
+	// currentID tells the concurrency-safe sink which experiment a trace
+	// belongs to; experiments run one at a time, so a plain string the
+	// loop below updates between Run calls suffices.
+	var currentID string
+	if *traceFmt != "" {
+		ext := map[string]string{"jsonl": ".jsonl", "chrome": ".json", "summary": ".txt"}[*traceFmt]
+		if ext == "" {
+			fmt.Fprintf(os.Stderr, "spiffi-bench: unknown trace format %q\n", *traceFmt)
+			os.Exit(2)
+		}
+		f.Trace = trace.Options{Enabled: true}
+		var mu sync.Mutex
+		used := map[string]int{}
+		f.TraceSink = func(label string, d *trace.Data) {
+			mu.Lock()
+			// Labels repeat when sweep points land on the same maximum;
+			// number duplicates so every consumed run keeps its file.
+			name := fmt.Sprintf("%s-%s", currentID, label)
+			used[name]++
+			if n := used[name]; n > 1 {
+				name = fmt.Sprintf("%s-%d", name, n)
+			}
+			mu.Unlock()
+			path := filepath.Join(*traceOut, name+ext)
+			out, err := os.Create(path)
+			if err == nil {
+				err = trace.Export(out, d, *traceFmt)
+				if cerr := out.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spiffi-bench: trace export:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", path)
+		}
+	}
+
 	ids := experiments.IDs()
 	if *exp != "all" {
 		ids = []string{*exp}
@@ -49,6 +133,7 @@ func main() {
 		if seen[id] {
 			continue
 		}
+		currentID = id
 		start := time.Now()
 		results, err := experiments.Run(id, f)
 		if err != nil {

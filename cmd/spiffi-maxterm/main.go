@@ -72,5 +72,14 @@ func main() {
 		m := res.AtMax[0]
 		fmt.Printf("at max: disk util avg %.1f%%, cpu util avg %.1f%%, peak net %.1f MB/s\n",
 			m.DiskUtilAvg*100, m.CPUUtilAvg*100, m.PeakNetBandwidth/1e6)
+		// With -trace, export the first passing run at the maximum — the
+		// same run whose utilization figures print above. (The confidence
+		// path above runs many searches and exports nothing.)
+		if dest, err := flags.ExportTrace(m.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "spiffi-maxterm: trace export:", err)
+			os.Exit(1)
+		} else if dest != "" && dest != "stdout" {
+			fmt.Printf("trace of the at-max run written to %s\n", dest)
+		}
 	}
 }

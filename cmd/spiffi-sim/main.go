@@ -9,6 +9,12 @@
 //
 //	spiffi-sim -terminals 200 -sched real-time -replace love-prefetch \
 //	    -prefetch delayed -servermem 512
+//
+// Example — trace an overloaded run and explain its first glitch:
+//
+//	spiffi-sim -terminals 280 -measure 120 -trace summary -postmortem 15
+//
+// See OBSERVABILITY.md for the event schema and export formats.
 package main
 
 import (
@@ -19,12 +25,15 @@ import (
 
 	"spiffi/internal/cli"
 	"spiffi/internal/core"
+	"spiffi/internal/trace"
 )
 
 func main() {
 	fs := flag.NewFlagSet("spiffi-sim", flag.ExitOnError)
 	flags := cli.Register(fs)
 	verbose := fs.Bool("v", false, "verbose output")
+	postmortem := fs.Int("postmortem", 0,
+		"with -trace: print the last N trace events before the first retained glitch (0 = off)")
 	fs.Parse(os.Args[1:])
 
 	cfg, err := flags.Config()
@@ -39,6 +48,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(m.String())
+	if dest, err := flags.ExportTrace(m.Trace); err != nil {
+		fmt.Fprintln(os.Stderr, "spiffi-sim: trace export:", err)
+		os.Exit(1)
+	} else if dest != "" && dest != "stdout" {
+		fmt.Printf("trace written to %s\n", dest)
+	}
+	if *postmortem > 0 && m.Trace != nil {
+		if gs := m.Trace.Glitches(); len(gs) > 0 {
+			if err := trace.WritePostMortem(os.Stdout, m.Trace, gs[0], *postmortem); err != nil {
+				fmt.Fprintln(os.Stderr, "spiffi-sim: post-mortem:", err)
+				os.Exit(1)
+			}
+		}
+	}
 	if *verbose {
 		fmt.Printf("pool: refs=%d hits=%d inflight=%d misses=%d evictions=%d allocWaits=%d\n",
 			m.Pool.DemandRefs, m.Pool.DemandHits, m.Pool.InFlightHits,

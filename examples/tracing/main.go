@@ -1,0 +1,87 @@
+// Command tracing demonstrates the observability layer end to end on a
+// Figure-10-style workload: the paper's 16-disk base system under
+// elevator disk scheduling with 512 KB stripes, shortened to bench
+// scale so the whole demo runs in seconds.
+//
+// It runs one traced simulation, prints the plain-text trace summary,
+// and writes two files to the working directory:
+//
+//	spiffi-trace.jsonl - one JSON object per event (jq/awk-friendly)
+//	spiffi-trace.json  - Chrome trace-event JSON; open at
+//	                     https://ui.perfetto.dev or chrome://tracing
+//
+// The Chrome file is re-parsed before the program exits, so `make
+// trace-demo` doubles as a format regression check. The event schema
+// and both formats are documented in OBSERVABILITY.md.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"spiffi"
+)
+
+func main() {
+	cfg := spiffi.DefaultConfig(120)
+	cfg.Video.Length = 6 * spiffi.Minute
+	cfg.MeasureTime = 45 * spiffi.Second
+	cfg.StartWindow = 20 * spiffi.Second
+	cfg.StripeBytes = 512 * spiffi.KB
+	cfg.Sched = spiffi.SchedConfig{Kind: spiffi.SchedElevator}
+	cfg.Trace = spiffi.TraceOptions{Enabled: true}
+
+	m, err := spiffi.Run(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(m.String())
+	if m.Trace == nil {
+		fail(fmt.Errorf("tracing was enabled but no trace came back"))
+	}
+
+	fmt.Println("\n--- trace summary ---")
+	if err := spiffi.ExportTrace(os.Stdout, m.Trace, "summary"); err != nil {
+		fail(err)
+	}
+
+	write := func(path, format string) {
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := spiffi.ExportTrace(f, m.Trace, format); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%s)\n", path, format)
+	}
+	write("spiffi-trace.jsonl", "jsonl")
+	write("spiffi-trace.json", "chrome")
+
+	// Regression check: the Chrome export must be valid JSON with a
+	// traceEvents array, or Perfetto would refuse the file.
+	blob, err := os.ReadFile("spiffi-trace.json")
+	if err != nil {
+		fail(err)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &parsed); err != nil {
+		fail(fmt.Errorf("chrome trace does not parse: %w", err))
+	}
+	if len(parsed.TraceEvents) == 0 {
+		fail(fmt.Errorf("chrome trace parsed but holds no events"))
+	}
+	fmt.Printf("chrome trace OK: %d trace events; open spiffi-trace.json at https://ui.perfetto.dev\n",
+		len(parsed.TraceEvents))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracing example:", err)
+	os.Exit(1)
+}

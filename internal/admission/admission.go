@@ -13,6 +13,7 @@ package admission
 import (
 	"spiffi/internal/disk"
 	"spiffi/internal/sim"
+	"spiffi/internal/trace"
 )
 
 // Analysis captures the parameters an analytical designer would use.
@@ -69,6 +70,7 @@ type Controller struct {
 	limit   int
 	active  int
 	waiters []*sim.Proc
+	rec     *trace.Recorder // nil unless tracing is enabled
 
 	// Admitted and Rejected count outcomes; Rejected counts Admit calls
 	// that had to wait (a proxy for user-visible start latency).
@@ -84,10 +86,15 @@ func NewController(k *sim.Kernel, limit int) *Controller {
 	return &Controller{k: k, limit: limit}
 }
 
-// Admit blocks until a stream slot is free, then claims it.
-func (c *Controller) Admit(p *sim.Proc) {
+// SetTrace attaches a trace recorder (nil is fine: emits become no-ops).
+func (c *Controller) SetTrace(rec *trace.Recorder) { c.rec = rec }
+
+// Admit blocks until a stream slot is free, then claims it. terminal
+// identifies the admitted stream in trace events.
+func (c *Controller) Admit(p *sim.Proc, terminal int) {
 	if c.active >= c.limit {
 		c.Waited++
+		c.rec.AdmWait(terminal, c.active, c.limit)
 		c.waiters = append(c.waiters, p)
 		p.Block()
 		// The releaser transferred its slot to us.
@@ -95,18 +102,22 @@ func (c *Controller) Admit(p *sim.Proc) {
 		c.active++
 	}
 	c.Admitted++
+	c.rec.AdmAdmit(terminal, c.active, c.limit)
 }
 
-// Release returns a stream slot, waking the oldest waiter.
-func (c *Controller) Release() {
+// Release returns a stream slot, waking the oldest waiter. terminal
+// identifies the departing stream in trace events.
+func (c *Controller) Release(terminal int) {
 	if len(c.waiters) > 0 {
 		w := c.waiters[0]
 		copy(c.waiters, c.waiters[1:])
 		c.waiters = c.waiters[:len(c.waiters)-1]
+		c.rec.AdmRelease(terminal, c.active, c.limit)
 		c.k.Wake(w)
 		return
 	}
 	c.active--
+	c.rec.AdmRelease(terminal, c.active, c.limit)
 }
 
 // Active reports the number of admitted streams.

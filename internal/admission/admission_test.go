@@ -5,6 +5,7 @@ import (
 
 	"spiffi/internal/disk"
 	"spiffi/internal/sim"
+	"spiffi/internal/trace"
 )
 
 func paperAnalysis() Analysis {
@@ -65,13 +66,14 @@ func TestControllerCapsConcurrency(t *testing.T) {
 	c := NewController(k, 2)
 	peak := 0
 	for i := 0; i < 5; i++ {
+		i := i
 		k.Spawn("stream", func(p *sim.Proc) {
-			c.Admit(p)
+			c.Admit(p, i)
 			if c.Active() > peak {
 				peak = c.Active()
 			}
 			p.Sleep(10 * sim.Millisecond)
-			c.Release()
+			c.Release(i)
 		})
 	}
 	if err := k.RunAll(); err != nil {
@@ -99,10 +101,10 @@ func TestControllerFIFOHandoff(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		i := i
 		k.SpawnAt(sim.Time(i), "s", func(p *sim.Proc) {
-			c.Admit(p)
+			c.Admit(p, i)
 			order = append(order, i)
 			p.Sleep(10 * sim.Millisecond)
-			c.Release()
+			c.Release(i)
 		})
 	}
 	if err := k.RunAll(); err != nil {
@@ -111,6 +113,44 @@ func TestControllerFIFOHandoff(t *testing.T) {
 	for i := range order {
 		if order[i] != i {
 			t.Fatalf("admission order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestControllerTraceEvents(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	rec := trace.NewRecorder(k, trace.Options{Enabled: true, Capacity: 64})
+	c := NewController(k, 1)
+	c.SetTrace(rec)
+	for i := 0; i < 2; i++ {
+		i := i
+		k.SpawnAt(sim.Time(i), "s", func(p *sim.Proc) {
+			c.Admit(p, i)
+			p.Sleep(5 * sim.Millisecond)
+			c.Release(i)
+		})
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []trace.Kind
+	for _, ev := range rec.Snapshot().Events {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []trace.Kind{
+		trace.KindAdmAdmit,   // stream 0 admitted immediately
+		trace.KindAdmWait,    // stream 1 queued at the limit
+		trace.KindAdmRelease, // stream 0 departs, handing its slot over
+		trace.KindAdmAdmit,   // stream 1 admitted
+		trace.KindAdmRelease, // stream 1 departs
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d admission events, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %s, want %s", i, kinds[i].Name(), want[i].Name())
 		}
 	}
 }

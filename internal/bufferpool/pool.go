@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spiffi/internal/sim"
+	"spiffi/internal/trace"
 )
 
 // Outcome reports how an Acquire was satisfied.
@@ -70,6 +71,9 @@ type Pool struct {
 	policy   Policy
 	waiters  []*sim.Proc
 	stats    Stats
+
+	rec  *trace.Recorder // nil unless tracing is enabled
+	node int             // owning node id, stamped into trace events
 }
 
 // New creates a pool of `capacity` stripe-block frames.
@@ -84,6 +88,13 @@ func New(k *sim.Kernel, capacity int, policy Policy) *Pool {
 		table:    make(map[PageID]*Page, capacity),
 		policy:   policy,
 	}
+}
+
+// SetTrace attaches a trace recorder (nil is fine: emits become
+// no-ops) and records the owning node's id for event attribution.
+func (b *Pool) SetTrace(rec *trace.Recorder, node int) {
+	b.rec = rec
+	b.node = node
 }
 
 // Capacity returns the frame count.
@@ -143,14 +154,21 @@ func (b *Pool) acquireResident(pg *Page, terminal int, prefetch bool) (*Page, Ou
 	if pg.referencedByOther(terminal) {
 		b.stats.SharedRefs++
 	}
+	if pg.prefetched {
+		// The demand reference a prefetched page was held for has
+		// arrived — under love-prefetch, the protected chain paid off.
+		b.rec.PoolProtect(b.node, terminal, pg.ID.Video, pg.ID.Block)
+	}
 	pg.noteReference(terminal)
 	b.policy.OnReference(pg)
 	pg.pin++
 	if pg.state == stateValid {
 		b.stats.DemandHits++
+		b.rec.PoolHit(b.node, terminal, pg.ID.Video, pg.ID.Block, false)
 		return pg, Hit
 	}
 	b.stats.InFlightHits++
+	b.rec.PoolHit(b.node, terminal, pg.ID.Video, pg.ID.Block, true)
 	return pg, InFlight
 }
 
@@ -161,10 +179,13 @@ func (b *Pool) insertNew(id PageID, terminal int, prefetch bool) *Page {
 		pin:   1,
 		Ready: sim.NewEvent(b.k),
 	}
-	if !prefetch {
+	if prefetch {
+		b.rec.PoolPrefetch(b.node, terminal, id.Video, id.Block)
+	} else {
 		b.stats.DemandRefs++
 		b.stats.Misses++
 		pg.noteReference(terminal)
+		b.rec.PoolMiss(b.node, terminal, id.Video, id.Block)
 	}
 	b.table[id] = pg
 	b.policy.OnInsert(pg, prefetch)
@@ -175,6 +196,7 @@ func (b *Pool) evict(pg *Page) {
 	if !pg.evictable() {
 		panic("bufferpool: evicting unevictable page")
 	}
+	b.rec.PoolEvict(b.node, pg.ID.Video, pg.ID.Block, pg.prefetched)
 	b.policy.OnEvict(pg)
 	delete(b.table, pg.ID)
 	b.free++

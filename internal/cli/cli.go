@@ -5,6 +5,7 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"spiffi/internal/bufferpool"
@@ -14,6 +15,7 @@ import (
 	"spiffi/internal/prefetch"
 	"spiffi/internal/sim"
 	"spiffi/internal/terminal"
+	"spiffi/internal/trace"
 )
 
 // Flags holds the parsed common flags.
@@ -61,6 +63,11 @@ type Flags struct {
 	// Workers is not part of core.Config: it sizes the worker pool for
 	// tools that evaluate many runs (searches, sweeps).
 	Workers *int
+
+	// Observability (internal/trace, OBSERVABILITY.md).
+	Trace    *string // export format ("" = tracing off)
+	TraceOut *string // output path ("" = format default, "-" = stdout)
+	TraceCap *int    // ring capacity in events (0 = default)
 }
 
 // Register installs the common flags on fs.
@@ -106,7 +113,51 @@ func Register(fs *flag.FlagSet) *Flags {
 		BackoffCapMS:   fs.Float64("backoffcap", 0, "retry backoff cap in ms (0 = 64x the base backoff)"),
 
 		Workers: fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); results are identical for any value"),
+
+		Trace:    fs.String("trace", "", "record structured events and export as jsonl|chrome|summary (empty = off)"),
+		TraceOut: fs.String("trace-out", "", "trace output path (default trace.jsonl/trace.json, summary to stdout; '-' = stdout)"),
+		TraceCap: fs.Int("tracecap", 0, "trace ring capacity in events (0 = default, 65536)"),
 	}
+}
+
+// TraceOptions materializes trace.Options from the parsed flags.
+func (f *Flags) TraceOptions() trace.Options {
+	return trace.Options{Enabled: *f.Trace != "", Capacity: *f.TraceCap}
+}
+
+// ExportTrace writes a trace snapshot per the -trace/-trace-out flags
+// and returns the destination it wrote ("" when tracing is off or there
+// is nothing to write). The default destination keeps stdout clean for
+// the metrics report: summaries print inline, event dumps go to
+// trace.jsonl (JSONL) or trace.json (Chrome/Perfetto).
+func (f *Flags) ExportTrace(d *trace.Data) (string, error) {
+	format := *f.Trace
+	if format == "" || d == nil {
+		return "", nil
+	}
+	path := *f.TraceOut
+	if path == "" {
+		switch format {
+		case "chrome":
+			path = "trace.json"
+		case "summary":
+			path = "-"
+		default:
+			path = "trace." + format
+		}
+	}
+	if path == "-" {
+		return "stdout", trace.Export(os.Stdout, d, format)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := trace.Export(out, d, format); err != nil {
+		out.Close()
+		return "", err
+	}
+	return path, out.Close()
 }
 
 // Config materializes a core.Config from the parsed flags.
@@ -201,6 +252,7 @@ func (f *Flags) Config() (core.Config, error) {
 		NetJitterMax:    sim.DurationOfSeconds(*f.FaultJitterMS / 1000),
 	}
 	cfg.ReplicateVideos = *f.Mirror
+	cfg.Trace = f.TraceOptions()
 	cfg.RequestTimeout = sim.DurationOfSeconds(*f.ReqTimeoutS)
 	cfg.MaxRetries = *f.Retries
 	cfg.RetryBackoff = sim.DurationOfSeconds(*f.BackoffMS / 1000)

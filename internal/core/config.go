@@ -5,6 +5,18 @@
 // at random intervals, measurement begins once every terminal is actively
 // viewing, runs for a fixed simulated time, and the headline metric is
 // the maximum number of terminals supported with zero glitches.
+//
+// Beyond single runs, the package provides the measurement machinery the
+// experiments are built from: FindMaxTerminals implements the paper's
+// capacity search (doubling ascent plus bisection, all seeds must pass),
+// and Runner fans independent simulations — sweep points, search probes,
+// seed replications — across a bounded worker pool with bit-identical
+// results for every worker count (see runner.go and search.go for the
+// ordering discipline that makes that hold). Observability rides along:
+// when Config.Trace is enabled each run's Metrics carries a structured
+// event trace (internal/trace, see OBSERVABILITY.md) that follows the
+// same consumed-results discipline, so traces are as deterministic as
+// the metrics they accompany.
 package core
 
 import (
@@ -20,6 +32,7 @@ import (
 	"spiffi/internal/prefetch"
 	"spiffi/internal/sim"
 	"spiffi/internal/terminal"
+	"spiffi/internal/trace"
 )
 
 // KB and MB are byte-size helpers used throughout configurations.
@@ -105,6 +118,12 @@ type Config struct {
 	MaxRetries      int
 	RetryBackoff    sim.Duration
 	RetryBackoffCap sim.Duration
+
+	// Trace enables the structured event recorder (internal/trace). The
+	// zero value records nothing and costs only nil-receiver checks on
+	// the hot paths; enabling it never perturbs the simulation — traced
+	// and untraced runs produce identical Metrics.
+	Trace trace.Options
 }
 
 // DefaultConfig returns the paper's base configuration at a given

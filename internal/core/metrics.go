@@ -7,6 +7,7 @@ import (
 	"spiffi/internal/bufferpool"
 	"spiffi/internal/server"
 	"spiffi/internal/sim"
+	"spiffi/internal/trace"
 )
 
 // Metrics is the result of one simulation run, measured over the window
@@ -73,6 +74,13 @@ type Metrics struct {
 	Recoveries       int64
 
 	Events uint64 // kernel events dispatched (simulator cost)
+
+	// Trace is the structured event snapshot when Config.Trace.Enabled
+	// was set, nil otherwise. It rides the Metrics so parallel sweeps
+	// surface traces only through consumed results — the same discipline
+	// that keeps every other metric bit-identical across worker counts.
+	// Excluded from JSON results (experiments marshal a separate view).
+	Trace *trace.Data `json:"-"`
 }
 
 // GlitchFree reports the paper's pass criterion.
@@ -97,6 +105,18 @@ func (m Metrics) String() string {
 		fmt.Fprintf(&b, "faults: disk failstops=%d abandoned=%d rejects=%d downtime=%v  node crashes=%d drops=%d  netdrop=%d  mttr avg/max = %v/%v\n",
 			m.DiskFailStops, m.DiskAbandoned, m.DiskRejects, m.DiskDownTime,
 			m.Nodes.Crashes, m.Nodes.Dropped, m.NetDropped, m.MTTRAvg, m.MTTRMax)
+	}
+	if t := m.Trace; t != nil {
+		fmt.Fprintf(&b, "trace: %d events (%d retained)\n", t.Total, len(t.Events))
+		if t.DiskWait != nil && t.DiskWait.Count() > 0 {
+			fmt.Fprintf(&b, "trace disk wait (s):    %s\n", t.DiskWait)
+		}
+		if t.DiskService != nil && t.DiskService.Count() > 0 {
+			fmt.Fprintf(&b, "trace disk service (s): %s\n", t.DiskService)
+		}
+		if t.NetDelay != nil && t.NetDelay.Count() > 0 {
+			fmt.Fprintf(&b, "trace net delay (s):    %s\n", t.NetDelay)
+		}
 	}
 	return b.String()
 }

@@ -12,6 +12,7 @@ import (
 	"spiffi/internal/sim"
 	"spiffi/internal/stats"
 	"spiffi/internal/terminal"
+	"spiffi/internal/trace"
 )
 
 // Simulation is one assembled run of the SPIFFI system.
@@ -24,6 +25,7 @@ type Simulation struct {
 	nodes []*server.Node
 	terms []*terminal.Terminal
 	piggy *piggyCoordinator
+	rec   *trace.Recorder // nil unless cfg.Trace.Enabled
 
 	startedCount int
 	measuring    bool
@@ -45,6 +47,8 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		k:        sim.NewKernel(),
 		respHist: stats.NewHistogram(0.001, 20),
 	}
+	// nil when tracing is off; every emit below is a nil-safe no-op then.
+	s.rec = trace.NewRecorder(s.k, cfg.Trace)
 	root := rng.New(cfg.Seed)
 
 	// Video library: content depends only on LibrarySeed, so every run
@@ -66,6 +70,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	}
 
 	s.net = network.New(s.k, cfg.NetParams)
+	s.net.SetTrace(s.rec)
 
 	nodeCfg := server.Config{
 		PoolPages:   cfg.PoolPagesPerNode(),
@@ -88,6 +93,10 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 			srcs[d] = root.DeriveIndexed("disk", n*cfg.DisksPerNode+d)
 		}
 		s.nodes[n] = server.New(s.k, n, nodeCfg, s.net, s.place, srcs, cfg.StripePlayTime())
+		s.nodes[n].Pool().SetTrace(s.rec, n)
+		for _, d := range s.nodes[n].Disks() {
+			d.SetTrace(s.rec)
+		}
 	}
 
 	if cfg.Faults.Enabled() {
@@ -141,6 +150,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 			s.onTerminalStarted,
 		)
 		s.terms[i] = t
+		t.SetTrace(s.rec)
 		t.Start(sim.Duration(startSrc.Float64() * float64(cfg.StartWindow)))
 	}
 	return s, nil
@@ -290,6 +300,7 @@ func (s *Simulation) Run() (Metrics, error) {
 	m.NetDropped = s.net.Dropped()
 	m.RespTimeP50 = sim.DurationOfSeconds(s.respHist.Quantile(0.50))
 	m.RespTimeP99 = sim.DurationOfSeconds(s.respHist.Quantile(0.99))
+	m.Trace = s.rec.Snapshot()
 	return m, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"spiffi/internal/dsched"
 	"spiffi/internal/rng"
 	"spiffi/internal/sim"
+	"spiffi/internal/trace"
 )
 
 // Params describes the simulated drive.
@@ -97,6 +98,7 @@ type Disk struct {
 	src    *rng.Source
 
 	onComplete func(*dsched.Request)
+	rec        *trace.Recorder // nil unless tracing is enabled
 
 	// geo, when non-nil, replaces the constant-cylinder address and
 	// transfer model with zoned-bit-recording geometry (zoned.go).
@@ -173,6 +175,9 @@ func (d *Disk) transferTime(offset, size int64) sim.Duration {
 // ID returns the disk's global index.
 func (d *Disk) ID() int { return d.id }
 
+// SetTrace attaches a trace recorder (nil is fine: emits become no-ops).
+func (d *Disk) SetTrace(rec *trace.Recorder) { d.rec = rec }
+
 // Params returns the drive parameters.
 func (d *Disk) Params() Params { return d.params }
 
@@ -194,13 +199,17 @@ func (d *Disk) Submit(r *dsched.Request) {
 	if d.failed {
 		r.Failed = true
 		d.stats.Rejects++
+		d.rec.DiskEnqueue(d.id, r.Terminal, r.Deadline, r.Prefetch, d.sched.Len())
+		d.rec.DiskComplete(d.id, r.Terminal, 0, r.Prefetch, true)
 		d.onComplete(r)
 		return
 	}
 	d.sched.Add(r)
-	if l := d.sched.Len(); l > d.stats.QueuePeak {
+	l := d.sched.Len()
+	if l > d.stats.QueuePeak {
 		d.stats.QueuePeak = l
 	}
+	d.rec.DiskEnqueue(d.id, r.Terminal, r.Deadline, r.Prefetch, l)
 	if d.idleProc != nil {
 		p := d.idleProc
 		d.idleProc = nil
@@ -220,6 +229,7 @@ func (d *Disk) run(p *sim.Proc) {
 		}
 		d.busy = true
 		d.busyStart = d.k.Now()
+		d.rec.DiskDispatch(d.id, r.Terminal, d.k.Now().Sub(r.Arrival), r.Prefetch, d.sched.Len())
 
 		service := d.access(r)
 		if d.slowFactor > 1 && d.k.Now() < d.slowUntil {
@@ -241,6 +251,7 @@ func (d *Disk) run(p *sim.Proc) {
 				d.stats.PrefetchOps++
 			}
 		}
+		d.rec.DiskComplete(d.id, r.Terminal, service, r.Prefetch, r.Failed)
 		d.onComplete(r)
 	}
 }
@@ -350,6 +361,7 @@ func (d *Disk) Fail(repair sim.Duration) {
 	for _, r := range d.sched.Drain() {
 		r.Failed = true
 		d.stats.Abandoned++
+		d.rec.DiskComplete(d.id, r.Terminal, 0, r.Prefetch, true)
 		d.onComplete(r)
 	}
 }

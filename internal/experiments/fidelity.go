@@ -13,10 +13,12 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
 
 	"spiffi/internal/core"
 	"spiffi/internal/sim"
+	"spiffi/internal/trace"
 )
 
 // Fidelity scales an experiment's cost.
@@ -43,6 +45,22 @@ type Fidelity struct {
 	// all share the bound); <= 0 selects GOMAXPROCS. Results are
 	// bit-identical whatever the value — see core.Runner.
 	Workers int
+
+	// Trace enables structured event tracing (internal/trace) on every
+	// simulation the experiment runs. Traces ride the run's Metrics and
+	// surface only through TraceSink; Result data and its JSON/CSV
+	// exports never change, enabled or not.
+	Trace trace.Options
+
+	// TraceSink, when set alongside Trace.Enabled, receives the trace of
+	// each *consumed* passing run at a search's maximum — the same runs
+	// whose Metrics populate SearchResult.AtMax, so the delivered set of
+	// (label, data) pairs is bit-identical for every worker count. The
+	// label ("max<terminals>-seed<seed>") is deterministic but not
+	// globally unique across a multi-point sweep; sinks that file traces
+	// should key on the label and tolerate concurrent calls (sweep points
+	// fan out, so delivery order — not content — varies between runs).
+	TraceSink func(label string, d *trace.Data)
 
 	// run is the shared worker pool, created lazily by withPool so one
 	// experiment's nested fan-out shares a single concurrency bound.
@@ -134,15 +152,24 @@ func (f Fidelity) apply(cfg core.Config) core.Config {
 	cfg.Video.Length = f.VideoLength
 	cfg.MeasureTime = f.MeasureTime
 	cfg.StartWindow = f.StartWindow
+	cfg.Trace = f.Trace
 	return cfg
 }
 
 // search runs the max-terminal search at this fidelity on the shared
-// worker pool.
+// worker pool, delivering the consumed at-max traces to TraceSink.
 func (f Fidelity) search(cfg core.Config, hintLo, hintHi int) (core.SearchResult, error) {
-	return f.pool().FindMaxTerminals(f.apply(cfg), core.SearchOptions{
+	r, err := f.pool().FindMaxTerminals(f.apply(cfg), core.SearchOptions{
 		Lo: hintLo, Hi: hintHi, Step: f.Step, Seeds: f.Seeds,
 	})
+	if err == nil && f.TraceSink != nil {
+		for i, m := range r.AtMax {
+			if m.Trace != nil && i < len(f.Seeds) {
+				f.TraceSink(fmt.Sprintf("max%d-seed%d", r.MaxTerminals, f.Seeds[i]), m.Trace)
+			}
+		}
+	}
+	return r, err
 }
 
 // fanout runs n independent jobs concurrently, collecting results by

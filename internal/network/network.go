@@ -10,6 +10,7 @@ package network
 import (
 	"spiffi/internal/sim"
 	"spiffi/internal/stats"
+	"spiffi/internal/trace"
 )
 
 // Params describes the wire model.
@@ -46,6 +47,7 @@ type Network struct {
 	sent    int64
 	hook    Hook
 	dropped int64
+	rec     *trace.Recorder // nil unless tracing is enabled
 }
 
 // New creates the bus.
@@ -75,12 +77,17 @@ func (n *Network) Send(size int64, deliver func()) {
 		drop, extra := n.hook.Mangle(size)
 		if drop {
 			n.dropped++
+			n.rec.NetSend(size, delay, true)
 			return
 		}
 		delay += extra
 	}
+	n.rec.NetSend(size, delay, false)
 	n.k.After(delay, deliver)
 }
+
+// SetTrace attaches a trace recorder (nil is fine: emits become no-ops).
+func (n *Network) SetTrace(rec *trace.Recorder) { n.rec = rec }
 
 // SetHook installs (or, with nil, removes) the fault-injection hook.
 func (n *Network) SetHook(h Hook) { n.hook = h }

@@ -39,7 +39,23 @@ func (h *Histogram) Add(v float64) {
 		h.under++
 		return
 	}
+	// Log2 of the quotient is only a first guess at the bucket index:
+	// both the division and math.Log2 round, so a sample near (or
+	// exactly on) a bucket edge can land one bucket off. The boundary
+	// comparisons below make bucketing exact — math.Ldexp scales by a
+	// power of two without rounding — so edge values deterministically
+	// satisfy lower(i) <= v < lower(i+1).
 	i := int(math.Log2(v / h.base))
+	if i >= 0 && v < math.Ldexp(h.base, i) {
+		i-- // Log2 rounded up across the lower edge
+	} else if v >= math.Ldexp(h.base, i+1) {
+		i++ // Log2 rounded down across the upper edge
+	}
+	if i < 0 {
+		// Only reachable through rounding in v/h.base when v is within
+		// one ulp of base; v >= base held above, so bucket 0 is correct.
+		i = 0
+	}
 	if i >= len(h.buckets) {
 		i = len(h.buckets) - 1
 	}
@@ -74,7 +90,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, c := range h.buckets {
 		seen += c
 		if seen >= target {
-			return h.base * math.Pow(2, float64(i+1))
+			return math.Ldexp(h.base, i+1)
 		}
 	}
 	return h.max
@@ -99,7 +115,7 @@ func (h *Histogram) String() string {
 		if c == 0 {
 			continue
 		}
-		lo := h.base * math.Pow(2, float64(i))
+		lo := math.Ldexp(h.base, i)
 		fmt.Fprintf(&b, " | %.3g-%.3g: %d", lo, lo*2, c)
 	}
 	return b.String()

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// bucketOf reports which bucket a single sample lands in, observed
+// through Quantile(1), which returns the exact upper edge
+// Ldexp(base, i+1) of the occupied bucket (-1 = under base).
+func bucketOf(t *testing.T, base, v float64, buckets int) int {
+	t.Helper()
+	h := NewHistogram(base, buckets)
+	h.Add(v)
+	q := h.Quantile(1)
+	if q == base {
+		return -1
+	}
+	for i := 0; i < buckets; i++ {
+		if q == math.Ldexp(base, i+1) {
+			return i
+		}
+	}
+	t.Fatalf("Quantile(1) = %g is not a bucket edge for base %g", q, base)
+	return 0
+}
+
+// TestHistogramBucketEdges pins down bucketing at the bucket
+// boundaries: a value exactly on the edge base*2^i must land in bucket
+// i (the bucket whose half-open interval [base*2^i, base*2^(i+1)) it
+// starts), one ulp below must land in bucket i-1, one ulp above in
+// bucket i. The naive int(Log2(v/base)) index gets several of these
+// wrong — e.g. base=0.001, v=1.024 divides to 1023.9999999999999 and
+// Log2 then rounds the exact boundary into the bucket below — so the
+// test sweeps every edge for a mix of exact and inexact bases.
+func TestHistogramBucketEdges(t *testing.T) {
+	const buckets = 30
+	// 0.001 is the respHist base used by core; 10e-6 and 1e-6 are the
+	// trace histogram bases; the rest probe other rounding patterns.
+	for _, base := range []float64{0.001, 10e-6, 1e-6, 1.0, 0.375, 3.7, 7e-3} {
+		for i := 0; i < buckets-1; i++ { // last bucket clamps; tested separately
+			edge := math.Ldexp(base, i)
+			if got := bucketOf(t, base, edge, buckets); got != i {
+				t.Errorf("base %g: exact edge %g -> bucket %d, want %d", base, edge, got, i)
+			}
+			below := math.Nextafter(edge, 0)
+			wantBelow := i - 1
+			if got := bucketOf(t, base, below, buckets); got != wantBelow {
+				t.Errorf("base %g: just below edge %g -> bucket %d, want %d", base, below, got, wantBelow)
+			}
+			above := math.Nextafter(edge, math.Inf(1))
+			if got := bucketOf(t, base, above, buckets); got != i {
+				t.Errorf("base %g: just above edge %g -> bucket %d, want %d", base, above, got, i)
+			}
+		}
+	}
+}
+
+// TestHistogramBucketInvariant checks the defining property directly
+// for a dense sweep of awkward values: the chosen bucket i always
+// satisfies lower(i) <= v < lower(i+1), except for the documented
+// clamps (under base, beyond the last bucket).
+func TestHistogramBucketInvariant(t *testing.T) {
+	const buckets = 20
+	base := 0.001
+	last := buckets - 1
+	for k := 0; k < buckets; k++ {
+		for _, f := range []float64{1, 1.0000000000000002, 1.3, 1.9999999999999998, 2} {
+			v := math.Ldexp(base, k) * f
+			i := bucketOf(t, base, v, buckets)
+			if i == last && v >= math.Ldexp(base, last) {
+				continue // clamp bucket holds everything from its lower edge up
+			}
+			if i < 0 || v < math.Ldexp(base, i) || v >= math.Ldexp(base, i+1) {
+				t.Errorf("v=%g landed in bucket %d [%g, %g) — outside",
+					v, i, math.Ldexp(base, i), math.Ldexp(base, i+1))
+			}
+		}
+	}
+}
+
+// TestHistogramClamps pins the documented clamping behaviour.
+func TestHistogramClamps(t *testing.T) {
+	if got := bucketOf(t, 1.0, 0.5, 8); got != -1 {
+		t.Errorf("below-base sample -> bucket %d, want under", got)
+	}
+	if got := bucketOf(t, 1.0, 1e9, 8); got != 7 {
+		t.Errorf("huge sample -> bucket %d, want clamp into last (7)", got)
+	}
+}

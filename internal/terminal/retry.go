@@ -3,6 +3,7 @@ package terminal
 import (
 	"spiffi/internal/proto"
 	"spiffi/internal/sim"
+	"spiffi/internal/trace"
 )
 
 // This file is the terminal's degraded-mode machinery: request timeouts,
@@ -121,6 +122,11 @@ func (t *Terminal) loseBlock(block int, size int64, cause glitchCause) {
 	t.outstanding -= size
 	t.stats.LostBlocks++
 	t.stats.GlitchesTotal++
+	traceCause := trace.CauseTimeout
+	if cause == causeDiskFail {
+		traceCause = trace.CauseDiskFail
+	}
+	t.rec.TermGlitch(t.id, traceCause, t.vid, block, t.BufferedBytes())
 	if t.measuring() {
 		t.stats.Glitches++
 		switch cause {

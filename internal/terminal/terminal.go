@@ -23,6 +23,7 @@ import (
 	"spiffi/internal/proto"
 	"spiffi/internal/rng"
 	"spiffi/internal/sim"
+	"spiffi/internal/trace"
 )
 
 // PauseConfig enables the §8.1 pause experiment: each playback pauses
@@ -175,6 +176,7 @@ type Terminal struct {
 
 	started bool
 	stats   Stats
+	rec     *trace.Recorder // nil unless tracing is enabled
 }
 
 // New creates a terminal and starts its player and fetcher processes.
@@ -220,6 +222,10 @@ func (t *Terminal) Start(delay sim.Duration) {
 
 // ID returns the terminal id.
 func (t *Terminal) ID() int { return t.id }
+
+// SetTrace attaches a trace recorder (nil is fine: emits become
+// no-ops). Call before Start.
+func (t *Terminal) SetTrace(rec *trace.Recorder) { t.rec = rec }
 
 // Stats returns a copy of the terminal's counters.
 func (t *Terminal) Stats() Stats { return t.stats }
@@ -346,17 +352,19 @@ func (t *Terminal) playMovie(p *sim.Proc) {
 	for {
 		t.waitPrimed(p)
 		t.stats.Primes++
+		var recovered sim.Duration
 		if t.glitchAt != 0 {
 			// The prime that just completed recovered from a glitch:
 			// record the viewer-visible freeze-to-resume time (MTTR).
-			rec := t.k.Now().Sub(t.glitchAt)
+			recovered = t.k.Now().Sub(t.glitchAt)
 			t.glitchAt = 0
 			t.stats.Recoveries++
-			t.stats.RecoverySum += rec
-			if rec > t.stats.RecoveryMax {
-				t.stats.RecoveryMax = rec
+			t.stats.RecoverySum += recovered
+			if recovered > t.stats.RecoveryMax {
+				t.stats.RecoveryMax = recovered
 			}
 		}
+		t.rec.TermPrime(t.id, t.vid, recovered, int(t.stats.Primes))
 		if t.seekStarted != 0 {
 			// The prime that just completed was a seek recovery; record
 			// the user-visible seek-to-resume latency.
@@ -386,6 +394,7 @@ func (t *Terminal) playMovie(p *sim.Proc) {
 			// follow at once.
 			t.stats.GlitchesTotal++
 			t.glitchAt = t.k.Now()
+			t.rec.TermGlitch(t.id, trace.CauseUnderrun, t.vid, t.consumedFrames, t.BufferedBytes())
 			if t.measuring() {
 				t.stats.Glitches++
 				t.stats.GlitchesUnderrun++
@@ -687,6 +696,7 @@ func (t *Terminal) applyArrival(req *proto.BlockRequest) {
 		t.cfg.OnRespTime(rt)
 	}
 	t.admit(req.Block, req.Size)
+	t.rec.TermBuffer(t.id, t.BufferedBytes(), t.outstanding, t.frontierBlocks)
 	t.wakeOnArrival()
 }
 

@@ -70,6 +70,7 @@ func (t *Terminal) doSeek(p *sim.Proc) {
 
 	t.stats.Seeks++
 	t.seekStarted = t.k.Now()
+	t.rec.TermSeek(t.id, t.vid, target)
 
 	if vc.Skim && vc.SkimStrideBlocks > 0 && target != cur {
 		step := vc.SkimStrideBlocks * dir

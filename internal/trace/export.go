@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"spiffi/internal/sim"
+)
+
+// This file renders a Data snapshot in three formats:
+//
+//   - JSONL: one self-describing JSON object per event, schema-stable
+//     field order, suitable for jq/awk pipelines and byte-for-byte
+//     determinism checks.
+//   - Chrome trace-event JSON: loadable in Perfetto (ui.perfetto.dev)
+//     or chrome://tracing; disk services become duration slices,
+//     queue depths and buffer occupancy become counter tracks,
+//     glitches and pool activity become instants.
+//   - Summary: a plain-text digest (event counts, latency histograms).
+//
+// All writers emit fields in a fixed order with strconv formatting —
+// no maps, no reflection — so identical Data yields identical bytes.
+
+// WriteJSONL writes one JSON object per retained event. Every object
+// has "t_ns", "kind" and, when attributable, "terminal"; the remaining
+// fields are per-kind (see kindInfo / OBSERVABILITY.md).
+func WriteJSONL(w io.Writer, d *Data) error {
+	if d == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, ev := range d.Events {
+		buf = buf[:0]
+		buf = append(buf, `{"t_ns":`...)
+		buf = strconv.AppendInt(buf, int64(ev.T), 10)
+		buf = append(buf, `,"kind":"`...)
+		buf = append(buf, ev.Kind.Name()...)
+		buf = append(buf, '"')
+		if ev.Terminal >= 0 {
+			buf = append(buf, `,"terminal":`...)
+			buf = strconv.AppendInt(buf, int64(ev.Terminal), 10)
+		}
+		if ev.Kind < numKinds {
+			info := &kindInfo[ev.Kind]
+			vals := [4]int64{ev.A, ev.B, ev.C, ev.D}
+			for i, name := range info.fields {
+				if name == "" {
+					continue
+				}
+				buf = append(buf, ',', '"')
+				buf = append(buf, name...)
+				buf = append(buf, `":`...)
+				buf = strconv.AppendInt(buf, vals[i], 10)
+			}
+		}
+		buf = append(buf, '}', '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Chrome trace-event pids, one per subsystem: Perfetto renders each
+// pid as a process group with per-tid tracks inside it.
+const (
+	pidDisk = 1
+	pidPool = 2
+	pidNet  = 3
+	pidAdm  = 4
+	pidTerm = 5
+)
+
+// WriteChromeTrace writes the snapshot in Chrome trace-event format
+// (the {"traceEvents": [...]} JSON object). Load the file at
+// https://ui.perfetto.dev or chrome://tracing.
+//
+// Mapping: disk.complete → "X" duration slices (one track per disk,
+// named "demand read"/"prefetch read", failures flagged in args);
+// disk enqueue/dispatch → a per-disk "queue" counter; term.buffer →
+// a per-terminal "buffer_bytes" counter; adm.* → an "active" counter;
+// everything else → "i" instant events. Timestamps are microseconds
+// of simulated time with nanosecond precision kept in the fraction.
+func WriteChromeTrace(w io.Writer, d *Data) error {
+	if d == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	item := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	// Name the subsystem "processes" so Perfetto's track groups read well.
+	for _, m := range []struct {
+		pid  int
+		name string
+	}{{pidDisk, "disks"}, {pidPool, "buffer pools"}, {pidNet, "network"}, {pidAdm, "admission"}, {pidTerm, "terminals"}} {
+		item(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%q}}`, m.pid, m.name)
+	}
+	for _, ev := range d.Events {
+		switch ev.Kind {
+		case KindDiskComplete:
+			name := "demand read"
+			if ev.D == 1 {
+				name = "prefetch read"
+			}
+			// The slice spans the service time, ending at ev.T.
+			start := ev.T - sim.Time(ev.B)
+			item(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%q,"args":{"terminal":%d,"failed":%d}}`,
+				pidDisk, ev.A, usec(start), usec(sim.Time(ev.B)), name, ev.Terminal, ev.C)
+		case KindDiskEnqueue, KindDiskDispatch:
+			item(`{"ph":"C","pid":%d,"tid":%d,"ts":%s,"name":"queue","args":{"depth":%d}}`,
+				pidDisk, ev.A, usec(ev.T), ev.B)
+		case KindTermBuffer:
+			item(`{"ph":"C","pid":%d,"tid":%d,"ts":%s,"name":"buffer_bytes","args":{"value":%d}}`,
+				pidTerm, ev.Terminal, usec(ev.T), ev.A)
+		case KindTermGlitch:
+			item(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":"glitch","s":"g","args":{"cause":%q,"video":%d,"pos":%d}}`,
+				pidTerm, ev.Terminal, usec(ev.T), CauseName(ev.A), ev.B, ev.C)
+		case KindTermPrime:
+			item(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":"prime","s":"t","args":{"video":%d,"recover_ns":%d}}`,
+				pidTerm, ev.Terminal, usec(ev.T), ev.A, ev.B)
+		case KindTermSeek:
+			item(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":"seek","s":"t","args":{"video":%d,"block":%d}}`,
+				pidTerm, ev.Terminal, usec(ev.T), ev.A, ev.B)
+		case KindPoolHit, KindPoolMiss, KindPoolPrefetch, KindPoolProtect, KindPoolEvict:
+			item(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":%q,"s":"t","args":{"video":%d,"block":%d}}`,
+				pidPool, ev.A, usec(ev.T), ev.Kind.Name(), ev.B, ev.C)
+		case KindAdmWait, KindAdmAdmit, KindAdmRelease:
+			item(`{"ph":"C","pid":%d,"tid":0,"ts":%s,"name":"active_streams","args":{"value":%d}}`,
+				pidAdm, usec(ev.T), ev.A)
+		case KindNetSend:
+			if ev.C == 1 { // only drops are interesting as instants
+				item(`{"ph":"i","pid":%d,"tid":0,"ts":%s,"name":"drop","s":"p","args":{"bytes":%d}}`,
+					pidNet, usec(ev.T), ev.A)
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// usec renders a sim.Time as microseconds with the nanosecond fraction
+// preserved ("412000123.456"), the unit Chrome trace events use.
+func usec(t sim.Time) string {
+	ns := int64(t)
+	if ns%1000 == 0 {
+		return strconv.FormatInt(ns/1000, 10)
+	}
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// WriteSummary writes a plain-text digest: totals, per-kind counts,
+// latency histograms, and one line per retained glitch.
+func WriteSummary(w io.Writer, d *Data) error {
+	if d == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "trace: %d events emitted, %d retained", d.Total, len(d.Events))
+	if dr := d.Dropped(); dr > 0 {
+		fmt.Fprintf(bw, " (%d oldest overwritten)", dr)
+	}
+	fmt.Fprintln(bw)
+	counts := d.CountByKind()
+	for k := Kind(1); k < numKinds; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "  %-14s %d\n", k.Name(), counts[k])
+	}
+	if d.DiskWait != nil && d.DiskWait.Count() > 0 {
+		fmt.Fprintf(bw, "disk wait (s):    %s\n", d.DiskWait)
+	}
+	if d.DiskService != nil && d.DiskService.Count() > 0 {
+		fmt.Fprintf(bw, "disk service (s): %s\n", d.DiskService)
+	}
+	if d.NetDelay != nil && d.NetDelay.Count() > 0 {
+		fmt.Fprintf(bw, "net delay (s):    %s\n", d.NetDelay)
+	}
+	for _, g := range d.Glitches() {
+		fmt.Fprintf(bw, "glitch: t=%v terminal=%d cause=%s video=%d frame=%d buffered=%dB\n",
+			g.T, g.Terminal, CauseName(g.A), g.B, g.C, g.D)
+	}
+	return bw.Flush()
+}
+
+// WritePostMortem renders the evidence trail for one glitch: the last
+// n events touching the glitching terminal, ending at the glitch.
+func WritePostMortem(w io.Writer, d *Data, glitch Event, n int) error {
+	if d == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "post-mortem: terminal %d glitched at %v (cause %s); last %d events:\n",
+		glitch.Terminal, glitch.T, CauseName(glitch.A), n)
+	for _, ev := range d.PostMortem(glitch.Terminal, glitch.T, n) {
+		fmt.Fprintf(bw, "  %-14v %-14s", ev.T, ev.Kind.Name())
+		if ev.Kind < numKinds {
+			info := &kindInfo[ev.Kind]
+			vals := [4]int64{ev.A, ev.B, ev.C, ev.D}
+			for i, name := range info.fields {
+				if name == "" {
+					continue
+				}
+				fmt.Fprintf(bw, " %s=%d", name, vals[i])
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Export writes d in the named format: "jsonl", "chrome", or "summary".
+func Export(w io.Writer, d *Data, format string) error {
+	switch format {
+	case "jsonl":
+		return WriteJSONL(w, d)
+	case "chrome":
+		return WriteChromeTrace(w, d)
+	case "summary":
+		return WriteSummary(w, d)
+	}
+	return fmt.Errorf("trace: unknown export format %q (want jsonl, chrome, or summary)", format)
+}

@@ -29,6 +29,8 @@
 package spiffi
 
 import (
+	"io"
+
 	"spiffi/internal/admission"
 	"spiffi/internal/bufferpool"
 	"spiffi/internal/core"
@@ -37,6 +39,7 @@ import (
 	"spiffi/internal/sim"
 	"spiffi/internal/stats"
 	"spiffi/internal/terminal"
+	"spiffi/internal/trace"
 )
 
 // Config is a complete simulation configuration; zero values are invalid,
@@ -74,6 +77,14 @@ type VCRConfig = terminal.VCRConfig
 
 // Interval is a Student-t confidence interval (§7.1 methodology).
 type Interval = stats.Interval
+
+// TraceOptions enables the structured event recorder on Config.Trace;
+// the resulting snapshot rides Metrics.Trace. See OBSERVABILITY.md.
+type TraceOptions = trace.Options
+
+// TraceData is one run's recorded trace snapshot (events, per-subsystem
+// latency histograms); render it with ExportTrace.
+type TraceData = trace.Data
 
 // AdmissionAnalysis computes the §4 analytical capacity bounds
 // (worst-case and expected-case) the paper contrasts simulation against.
@@ -172,4 +183,12 @@ func RealTimeSched(classes int, spacing Duration) SchedConfig {
 // GSSSched is a convenience constructor for group sweeping.
 func GSSSched(groups int) SchedConfig {
 	return SchedConfig{Kind: dsched.KindGSS, Groups: groups}
+}
+
+// ExportTrace renders a trace snapshot in the named format: "jsonl"
+// (one self-describing JSON object per event), "chrome" (trace-event
+// JSON for Perfetto or chrome://tracing), or "summary" (plain-text
+// digest). The full schema is documented in OBSERVABILITY.md.
+func ExportTrace(w io.Writer, d *TraceData, format string) error {
+	return trace.Export(w, d, format)
 }
