@@ -61,21 +61,39 @@ func (a Analysis) WorstCaseTerminals() int { return a.terminalsAt(a.WorstCaseAcc
 // ignoring scheduling gains (elevator batching) and buffer-pool sharing.
 func (a Analysis) ExpectedCaseTerminals() int { return a.terminalsAt(a.ExpectedAccess()) }
 
-// Controller is a runtime admission controller: it caps concurrently
-// active streams at a fixed limit ("the risk of glitches can be made
-// arbitrarily low by limiting the maximum number of terminals", §4).
-// Terminals block in Admit until a slot frees.
-type Controller struct {
-	k       *sim.Kernel
-	limit   int
-	active  int
-	waiters []*sim.Proc
-	rec     *trace.Recorder // nil unless tracing is enabled
+// waiter is one stream blocked in the admission queue. admitted and
+// rejected resolve the race between a slot handoff and the patience
+// timer: whichever fires first marks the waiter, the other is a no-op.
+type waiter struct {
+	p        *sim.Proc
+	terminal int
+	enq      sim.Time
+	admitted bool
+	rejected bool
+}
 
-	// Admitted and Rejected count outcomes; Rejected counts Admit calls
-	// that had to wait (a proxy for user-visible start latency).
+// Controller is a runtime admission controller: it caps concurrently
+// active streams at a limit ("the risk of glitches can be made
+// arbitrarily low by limiting the maximum number of terminals", §4).
+// Terminals block in Admit until a slot frees or their patience
+// expires, in which case they are rejected (NACKed) and Admit returns
+// false. The limit can be moved at runtime (SetLimit) by the overload
+// controller's capacity estimator.
+type Controller struct {
+	k        *sim.Kernel
+	limit    int
+	active   int
+	waiters  []*waiter
+	patience sim.Duration // 0 = wait forever
+	rec      *trace.Recorder
+
+	// Admitted, Waited and Rejected count outcomes; Waited counts
+	// Admit calls that had to queue (a proxy for user-visible start
+	// latency), WaitSum their total queueing time.
 	Admitted int64
 	Waited   int64
+	Rejected int64
+	WaitSum  sim.Duration
 }
 
 // NewController creates a controller admitting at most `limit` streams.
@@ -89,36 +107,102 @@ func NewController(k *sim.Kernel, limit int) *Controller {
 // SetTrace attaches a trace recorder (nil is fine: emits become no-ops).
 func (c *Controller) SetTrace(rec *trace.Recorder) { c.rec = rec }
 
-// Admit blocks until a stream slot is free, then claims it. terminal
-// identifies the admitted stream in trace events.
-func (c *Controller) Admit(p *sim.Proc, terminal int) {
-	if c.active >= c.limit {
-		c.Waited++
-		c.rec.AdmWait(terminal, c.active, c.limit)
-		c.waiters = append(c.waiters, p)
-		p.Block()
-		// The releaser transferred its slot to us.
-	} else {
-		c.active++
+// SetPatience bounds how long Admit waits before rejecting (0 = wait
+// forever).
+func (c *Controller) SetPatience(d sim.Duration) {
+	if d < 0 {
+		d = 0
 	}
-	c.Admitted++
-	c.rec.AdmAdmit(terminal, c.active, c.limit)
+	c.patience = d
 }
 
-// Release returns a stream slot, waking the oldest waiter. terminal
-// identifies the departing stream in trace events.
+// Admit claims a stream slot, blocking while the controller is at its
+// limit. It returns true once a slot is held, false if the stream's
+// patience expired in the queue (the NACK-on-reject path — the caller
+// backs off and may retry). terminal identifies the stream in traces.
+func (c *Controller) Admit(p *sim.Proc, terminal int) bool {
+	if c.active < c.limit {
+		c.active++
+		c.Admitted++
+		c.rec.AdmAdmit(terminal, c.active, c.limit)
+		return true
+	}
+	c.Waited++
+	c.rec.AdmWait(terminal, c.active, c.limit)
+	w := &waiter{p: p, terminal: terminal, enq: c.k.Now()}
+	c.waiters = append(c.waiters, w)
+	if c.patience > 0 {
+		c.k.After(c.patience, func() { c.expire(w) })
+	}
+	p.Block()
+	wait := c.k.Now().Sub(w.enq)
+	c.WaitSum += wait
+	if w.rejected {
+		c.Rejected++
+		c.rec.AdmReject(terminal, c.active, c.limit, wait)
+		return false
+	}
+	// The releaser (or a limit raise) transferred a slot to us.
+	c.Admitted++
+	c.rec.AdmAdmit(terminal, c.active, c.limit)
+	return true
+}
+
+// expire rejects a waiter whose patience ran out, unless a slot
+// handoff already resolved it.
+func (c *Controller) expire(w *waiter) {
+	if w.admitted || w.rejected {
+		return
+	}
+	for i, q := range c.waiters {
+		if q == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			break
+		}
+	}
+	w.rejected = true
+	c.k.Wake(w.p)
+}
+
+// Release returns a stream slot, handing it to the oldest waiter.
+// terminal identifies the departing stream in trace events.
 func (c *Controller) Release(terminal int) {
 	if len(c.waiters) > 0 {
 		w := c.waiters[0]
 		copy(c.waiters, c.waiters[1:])
 		c.waiters = c.waiters[:len(c.waiters)-1]
+		w.admitted = true
 		c.rec.AdmRelease(terminal, c.active, c.limit)
-		c.k.Wake(w)
+		c.k.Wake(w.p)
 		return
 	}
 	c.active--
 	c.rec.AdmRelease(terminal, c.active, c.limit)
 }
 
+// SetLimit moves the admission limit at runtime. Raising it admits
+// queued waiters into the new headroom; lowering it never evicts
+// admitted streams — the population drains down through Release.
+func (c *Controller) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.limit = n
+	for c.active < c.limit && len(c.waiters) > 0 {
+		w := c.waiters[0]
+		copy(c.waiters, c.waiters[1:])
+		c.waiters = c.waiters[:len(c.waiters)-1]
+		w.admitted = true
+		c.active++
+		c.k.Wake(w.p)
+	}
+}
+
+// Limit reports the current admission limit.
+func (c *Controller) Limit() int { return c.limit }
+
 // Active reports the number of admitted streams.
 func (c *Controller) Active() int { return c.active }
+
+// Waiting reports the number of queued streams.
+func (c *Controller) Waiting() int { return len(c.waiters) }

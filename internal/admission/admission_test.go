@@ -117,6 +117,81 @@ func TestControllerFIFOHandoff(t *testing.T) {
 	}
 }
 
+// A queued stream whose patience expires is rejected: Admit returns
+// false after exactly the patience wait, the queue is cleaned up, and
+// no slot is consumed.
+func TestControllerPatienceReject(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	c := NewController(k, 1)
+	c.SetPatience(100 * sim.Millisecond)
+	var first, second bool
+	var wait sim.Duration
+	k.Spawn("holder", func(p *sim.Proc) {
+		first = c.Admit(p, 0)
+		p.Sleep(sim.Second) // outlives the waiter's patience
+		c.Release(0)
+	})
+	k.SpawnAt(sim.Time(sim.Millisecond), "waiter", func(p *sim.Proc) {
+		enq := k.Now()
+		second = c.Admit(p, 1)
+		wait = k.Now().Sub(enq)
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !first || second {
+		t.Fatalf("admit outcomes: holder=%v waiter=%v, want true/false", first, second)
+	}
+	if wait != 100*sim.Millisecond {
+		t.Fatalf("rejected after %v, want the 100ms patience", wait)
+	}
+	if c.Admitted != 1 || c.Waited != 1 || c.Rejected != 1 {
+		t.Fatalf("counters admitted/waited/rejected = %d/%d/%d, want 1/1/1",
+			c.Admitted, c.Waited, c.Rejected)
+	}
+	if c.Waiting() != 0 {
+		t.Fatalf("rejected waiter left in queue: %d", c.Waiting())
+	}
+	if c.Active() != 0 {
+		t.Fatalf("slots leaked: %d", c.Active())
+	}
+}
+
+// Raising the limit at runtime admits queued waiters into the new
+// headroom; lowering it never evicts admitted streams.
+func TestControllerSetLimit(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	c := NewController(k, 1)
+	admitted := 0
+	for i := 0; i < 3; i++ {
+		i := i
+		k.SpawnAt(sim.Time(i), "s", func(p *sim.Proc) {
+			if c.Admit(p, i) {
+				admitted++
+			}
+		})
+	}
+	k.At(sim.Time(10), func() { c.SetLimit(3) })
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if admitted != 3 {
+		t.Fatalf("admitted = %d, want all 3 after the raise", admitted)
+	}
+	if c.Active() != 3 || c.Waiting() != 0 {
+		t.Fatalf("active=%d waiting=%d, want 3/0", c.Active(), c.Waiting())
+	}
+	c.SetLimit(1)
+	if c.Active() != 3 {
+		t.Fatalf("lowering the limit evicted streams: active=%d", c.Active())
+	}
+	if c.Limit() != 1 {
+		t.Fatalf("limit = %d, want 1", c.Limit())
+	}
+}
+
 func TestControllerTraceEvents(t *testing.T) {
 	k := sim.NewKernel()
 	defer k.Close()

@@ -60,6 +60,13 @@ type Flags struct {
 	BackoffMS      *float64
 	BackoffCapMS   *float64
 
+	// Overload control & recovery (internal/overload, OVERLOAD.md).
+	AdmitLimit  *int
+	Adaptive    *bool
+	Shed        *bool
+	PatienceS   *float64
+	RebuildMBs  *float64
+
 	// Workers is not part of core.Config: it sizes the worker pool for
 	// tools that evaluate many runs (searches, sweeps).
 	Workers *int
@@ -111,6 +118,12 @@ func Register(fs *flag.FlagSet) *Flags {
 		Retries:        fs.Int("retries", 0, "max retries per block (0 = default when faults on)"),
 		BackoffMS:      fs.Float64("backoff", 0, "first retry backoff in ms, doubling per retry (0 = default)"),
 		BackoffCapMS:   fs.Float64("backoffcap", 0, "retry backoff cap in ms (0 = 64x the base backoff)"),
+
+		AdmitLimit: fs.Int("admit", 0, "admission limit on concurrent streams (0 = off)"),
+		Adaptive:   fs.Bool("adaptive", false, "adapt the admission limit from measured disk slack"),
+		Shed:       fs.Bool("shed", false, "shed low-priority streams to half rate under overload"),
+		PatienceS:  fs.Float64("patience", 0, "admission queue patience in seconds (0 = default 10; <0 = wait forever)"),
+		RebuildMBs: fs.Float64("rebuildrate", 0, "mirror rebuild rate in MB/s after disk repair (0 = off)"),
 
 		Workers: fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); results are identical for any value"),
 
@@ -257,6 +270,12 @@ func (f *Flags) Config() (core.Config, error) {
 	cfg.MaxRetries = *f.Retries
 	cfg.RetryBackoff = sim.DurationOfSeconds(*f.BackoffMS / 1000)
 	cfg.RetryBackoffCap = sim.DurationOfSeconds(*f.BackoffCapMS / 1000)
+
+	cfg.Overload.AdmitLimit = *f.AdmitLimit
+	cfg.Overload.Adaptive = *f.Adaptive
+	cfg.Overload.Shed = *f.Shed
+	cfg.Overload.Patience = sim.DurationOfSeconds(*f.PatienceS)
+	cfg.Overload.RebuildRate = int64(*f.RebuildMBs * float64(core.MB))
 	return cfg, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"spiffi/internal/faults"
 	"spiffi/internal/mpeg"
 	"spiffi/internal/network"
+	"spiffi/internal/overload"
 	"spiffi/internal/prefetch"
 	"spiffi/internal/sim"
 	"spiffi/internal/terminal"
@@ -118,6 +119,19 @@ type Config struct {
 	MaxRetries      int
 	RetryBackoff    sim.Duration
 	RetryBackoffCap sim.Duration
+
+	// RetryJitter adds a uniform draw from a derived per-terminal
+	// stream on top of each retry backoff, breaking up retry
+	// synchronization storms after a node restart. Normalize fills a
+	// default whenever fault injection is enabled; zero draws nothing.
+	RetryJitter sim.Duration
+
+	// Overload configures the adaptive overload-control subsystem:
+	// measurement-based admission, QoS load shedding, and rate-limited
+	// mirror rebuild (internal/overload). The zero value arms no
+	// timers and consumes no randomness, reproducing runs without the
+	// subsystem bit for bit.
+	Overload overload.Config
 
 	// Trace enables the structured event recorder (internal/trace). The
 	// zero value records nothing and costs only nil-receiver checks on
@@ -215,7 +229,11 @@ func (c Config) Normalize() Config {
 		if c.RetryBackoff == 0 {
 			c.RetryBackoff = 200 * sim.Millisecond
 		}
+		if c.RetryJitter == 0 {
+			c.RetryJitter = c.RetryBackoff
+		}
 	}
+	c.Overload = c.Overload.Normalize(c.StripePlayTime())
 	return c
 }
 
@@ -258,8 +276,14 @@ func (c Config) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
-	if c.RequestTimeout < 0 || c.MaxRetries < 0 || c.RetryBackoff < 0 || c.RetryBackoffCap < 0 {
+	if c.RequestTimeout < 0 || c.MaxRetries < 0 || c.RetryBackoff < 0 || c.RetryBackoffCap < 0 || c.RetryJitter < 0 {
 		return fmt.Errorf("core: negative retry parameter")
+	}
+	if err := c.Overload.Validate(); err != nil {
+		return err
+	}
+	if c.Overload.RebuildRate > 0 && !c.ReplicateVideos {
+		return fmt.Errorf("core: mirror rebuild needs ReplicateVideos (no healthy copy to rebuild from)")
 	}
 	if c.RequestTimeout > 0 && c.MaxRetries > 0 && c.RetryBackoff <= 0 {
 		return fmt.Errorf("core: retries need a positive backoff")

@@ -73,6 +73,33 @@ type Metrics struct {
 	MTTRMax          sim.Duration
 	Recoveries       int64
 
+	// Overload-control aggregates (internal/overload). Admission
+	// counters come from the admission controller; shed/restore and
+	// the limit floor from the capacity estimator; rebuild counters
+	// from the mirror rebuilder. GlitchesProtected restricts Glitches
+	// to the protected terminals (ids below ProtectedTerminals) — with
+	// no overload config every terminal is protected and it equals
+	// Glitches.
+	Admitted           int64
+	AdmWaited          int64
+	AdmRejected        int64
+	AdmWaitAvg         sim.Duration
+	AdmLimit           int // configured admission limit (0 = off)
+	AdmLimitMin        int // lowest adaptive limit reached
+	Sheds              int64
+	Restores           int64
+	ShedPeak           int
+	DegradedBlocks     int64
+	DegradedFrames     int64
+	ProtectedTerminals int
+	GlitchesProtected  int64
+	RebuildWindows     int64 // completed rebuilds (closed redundancy windows)
+	RebuildWindowAvg   sim.Duration
+	RebuildWindowMax   sim.Duration
+	RebuiltBlocks      int64
+	RebuildIOs         int64 // disk transfers spent on reconstruction
+	StaleNacks         int64 // demand reads NACKed awaiting rebuild
+
 	Events uint64 // kernel events dispatched (simulator cost)
 
 	// Trace is the structured event snapshot when Config.Trace.Enabled
@@ -106,6 +133,18 @@ func (m Metrics) String() string {
 			m.DiskFailStops, m.DiskAbandoned, m.DiskRejects, m.DiskDownTime,
 			m.Nodes.Crashes, m.Nodes.Dropped, m.NetDropped, m.MTTRAvg, m.MTTRMax)
 	}
+	if m.OverloadSeen() {
+		fmt.Fprintf(&b, "overload: admitted=%d waited=%d rejected=%d waitavg=%v limit=%d min=%d\n",
+			m.Admitted, m.AdmWaited, m.AdmRejected, m.AdmWaitAvg, m.AdmLimit, m.AdmLimitMin)
+		fmt.Fprintf(&b, "overload: sheds=%d restores=%d peak=%d degraded blocks/frames=%d/%d  protected glitches=%d over %d terminals\n",
+			m.Sheds, m.Restores, m.ShedPeak, m.DegradedBlocks, m.DegradedFrames,
+			m.GlitchesProtected, m.ProtectedTerminals)
+		if m.RebuildWindows > 0 || m.RebuiltBlocks > 0 || m.StaleNacks > 0 {
+			fmt.Fprintf(&b, "rebuild: windows=%d avg/max=%v/%v blocks=%d ios=%d stalenacks=%d\n",
+				m.RebuildWindows, m.RebuildWindowAvg, m.RebuildWindowMax,
+				m.RebuiltBlocks, m.RebuildIOs, m.StaleNacks)
+		}
+	}
 	if t := m.Trace; t != nil {
 		fmt.Fprintf(&b, "trace: %d events (%d retained)\n", t.Total, len(t.Events))
 		if t.DiskWait != nil && t.DiskWait.Count() > 0 {
@@ -125,4 +164,11 @@ func (m Metrics) String() string {
 func (m Metrics) FaultsSeen() bool {
 	return m.DiskFailStops > 0 || m.Nodes.Crashes > 0 || m.NetDropped > 0 ||
 		m.Nacks > 0 || m.Retries > 0 || m.Timeouts > 0 || m.LostBlocks > 0
+}
+
+// OverloadSeen reports whether the overload-control subsystem was
+// active (admission gating, shedding, or rebuild).
+func (m Metrics) OverloadSeen() bool {
+	return m.AdmLimit > 0 || m.Sheds > 0 || m.DegradedBlocks > 0 ||
+		m.RebuiltBlocks > 0 || m.StaleNacks > 0 || m.RebuildWindows > 0
 }

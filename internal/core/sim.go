@@ -1,11 +1,13 @@
 package core
 
 import (
+	"spiffi/internal/admission"
 	"spiffi/internal/disk"
 	"spiffi/internal/faults"
 	"spiffi/internal/layout"
 	"spiffi/internal/mpeg"
 	"spiffi/internal/network"
+	"spiffi/internal/overload"
 	"spiffi/internal/proto"
 	"spiffi/internal/rng"
 	"spiffi/internal/server"
@@ -26,6 +28,12 @@ type Simulation struct {
 	terms []*terminal.Terminal
 	piggy *piggyCoordinator
 	rec   *trace.Recorder // nil unless cfg.Trace.Enabled
+
+	// Overload-control subsystem; all nil unless cfg.Overload asks for
+	// the corresponding mechanism.
+	adm  *admission.Controller
+	over *overload.Controller
+	reb  *overload.Rebuilder
 
 	startedCount int
 	measuring    bool
@@ -110,6 +118,40 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		}
 	}
 
+	ov := cfg.Overload
+	if ov.AdmitLimit > 0 {
+		s.adm = admission.NewController(s.k, ov.AdmitLimit)
+		s.adm.SetPatience(ov.Patience)
+		s.adm.SetTrace(s.rec)
+		if ov.Adaptive || ov.Shed {
+			s.over = overload.NewController(s.k, ov, cfg.TotalDisks())
+			s.over.SetLimiter(s.adm)
+			s.over.SetTrace(s.rec)
+			for g := 0; g < cfg.TotalDisks(); g++ {
+				g := g
+				s.diskByGlobal(g).SetObserver(func(slack sim.Duration, qlen int) {
+					s.over.ObserveDispatch(g, slack, qlen)
+				})
+			}
+		}
+	}
+	if ov.RebuildRate > 0 {
+		s.reb = overload.NewRebuilder(s.k, s.place, ov.RebuildRate,
+			func(p *sim.Proc, g int, offset, size int64) bool {
+				return s.nodes[g/cfg.DisksPerNode].RebuildIO(p, g%cfg.DisksPerNode, offset, size)
+			})
+		s.reb.SetTrace(s.rec)
+		for _, n := range s.nodes {
+			n.SetStaleCheck(s.reb.IsStale)
+		}
+		for g := 0; g < cfg.TotalDisks(); g++ {
+			g := g
+			s.diskByGlobal(g).SetRepairHook(func(downtime sim.Duration) {
+				s.reb.OnRepair(g, downtime)
+			})
+		}
+	}
+
 	if cfg.PiggybackDelay > 0 {
 		s.piggy = newPiggyCoordinator(s.k, cfg.PiggybackDelay)
 	}
@@ -135,6 +177,13 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 			}
 		},
 	}
+	tcfg.RetryJitter = cfg.RetryJitter
+	if s.adm != nil {
+		// Assigned only when non-nil: a typed-nil *Controller in the
+		// interface field would pass the != nil checks in the terminal.
+		tcfg.Admission = s.adm
+		tcfg.AdmitRetryDelay = ov.RetryDelay
+	}
 	if s.piggy != nil {
 		tcfg.Gate = s.piggy
 	}
@@ -152,6 +201,13 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		s.terms[i] = t
 		t.SetTrace(s.rec)
 		t.Start(sim.Duration(startSrc.Float64() * float64(cfg.StartWindow)))
+	}
+	if s.over != nil {
+		streams := make([]overload.Stream, len(s.terms))
+		for i, t := range s.terms {
+			streams[i] = t
+		}
+		s.over.SetStreams(streams, ov.ProtectedCount(cfg.Terminals))
 	}
 	return s, nil
 }
@@ -179,6 +235,11 @@ func (s *Simulation) onTerminalStarted() {
 	}
 	for _, t := range s.terms {
 		t.ResetWindowStats()
+	}
+	if s.over != nil {
+		// The estimator starts with the measurement window: warm-up
+		// slack (every stream priming at once) would read as overload.
+		s.over.Start()
 	}
 }
 
@@ -215,12 +276,18 @@ func (s *Simulation) Run() (Metrics, error) {
 	m.Events = s.k.Events()
 
 	var seekLatSum, recoverySum sim.Duration
-	for _, t := range s.terms {
+	m.ProtectedTerminals = s.cfg.Overload.ProtectedCount(s.cfg.Terminals)
+	for i, t := range s.terms {
 		st := t.Stats()
 		m.Glitches += st.Glitches
 		if st.Glitches > 0 {
 			m.GlitchTerminals++
 		}
+		if i < m.ProtectedTerminals {
+			m.GlitchesProtected += st.Glitches
+		}
+		m.DegradedBlocks += st.DegradedBlocks
+		m.DegradedFrames += st.DegradedFrames
 		m.BlocksServed += st.BlocksReceived
 		m.MoviesCompleted += st.MoviesCompleted
 		m.Seeks += st.Seeks
@@ -251,6 +318,33 @@ func (s *Simulation) Run() (Metrics, error) {
 		m.MTTRAvg = recoverySum / sim.Duration(m.Recoveries)
 	}
 
+	if s.adm != nil {
+		m.Admitted = s.adm.Admitted
+		m.AdmWaited = s.adm.Waited
+		m.AdmRejected = s.adm.Rejected
+		if s.adm.Waited > 0 {
+			m.AdmWaitAvg = s.adm.WaitSum / sim.Duration(s.adm.Waited)
+		}
+		m.AdmLimit = s.cfg.Overload.AdmitLimit
+		m.AdmLimitMin = s.adm.Limit()
+	}
+	if s.over != nil {
+		os := s.over.Stats()
+		m.Sheds = os.Sheds
+		m.Restores = os.Restores
+		m.ShedPeak = os.ShedPeak
+		m.AdmLimitMin = os.LimitMin
+	}
+	if s.reb != nil {
+		rs := s.reb.Stats()
+		m.RebuildWindows = rs.Windows
+		if rs.Windows > 0 {
+			m.RebuildWindowAvg = rs.WindowSum / sim.Duration(rs.Windows)
+		}
+		m.RebuildWindowMax = rs.WindowMax
+		m.RebuiltBlocks = rs.Rebuilt
+	}
+
 	m.DiskUtilMin = 2
 	for _, n := range s.nodes {
 		ns := n.Stats()
@@ -260,6 +354,7 @@ func (s *Simulation) Run() (Metrics, error) {
 		m.Nodes.Nacks += ns.Nacks
 		m.Nodes.Dropped += ns.Dropped
 		m.Nodes.Crashes += ns.Crashes
+		m.StaleNacks += ns.StaleNacks
 		ps := n.Pool().Stats()
 		m.Pool.DemandRefs += ps.DemandRefs
 		m.Pool.DemandHits += ps.DemandHits
@@ -288,6 +383,7 @@ func (s *Simulation) Run() (Metrics, error) {
 			m.DiskAbandoned += ds.Abandoned
 			m.DiskRejects += ds.Rejects
 			m.DiskDownTime += ds.DownTime
+			m.RebuildIOs += ds.RebuildOps
 		}
 	}
 	m.CPUUtilAvg /= float64(len(s.nodes))

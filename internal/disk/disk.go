@@ -87,6 +87,10 @@ type Stats struct {
 	Abandoned int64        // queued requests drained and failed at fail-stop
 	Rejects   int64        // requests rejected because the disk was failed
 	DownTime  sim.Duration // time spent failed (completed outages only)
+
+	// RebuildOps counts completed mirror-reconstruction transfers
+	// (internal/overload rate-limited rebuild).
+	RebuildOps int64
 }
 
 // Disk is one simulated drive with its own scheduler and service process.
@@ -129,6 +133,13 @@ type Disk struct {
 	repairAt  sim.Time
 	failStart sim.Time
 	failEpoch uint64 // bumped per fail-stop; in-service requests spanning one fail
+
+	// observer, when set, sees every demand dispatch's deadline slack
+	// and queue depth (the overload controller's capacity signal).
+	observer func(slack sim.Duration, qlen int)
+	// repairHook, when set, fires after every completed repair with the
+	// outage duration (the mirror rebuilder's trigger).
+	repairHook func(downtime sim.Duration)
 }
 
 // New creates a disk and starts its service process on k. onComplete is
@@ -181,6 +192,16 @@ func (d *Disk) SetTrace(rec *trace.Recorder) { d.rec = rec }
 // Params returns the drive parameters.
 func (d *Disk) Params() Params { return d.params }
 
+// SetObserver wires a dispatch observer: it is called at every demand
+// (non-prefetch, finite-deadline) dispatch with the request's
+// remaining deadline slack and the queue depth behind it. Must not
+// block or schedule.
+func (d *Disk) SetObserver(fn func(slack sim.Duration, qlen int)) { d.observer = fn }
+
+// SetRepairHook wires a callback invoked after every completed repair
+// with the outage duration just ended.
+func (d *Disk) SetRepairHook(fn func(downtime sim.Duration)) { d.repairHook = fn }
+
 // Scheduler exposes the queue discipline (used by tests and by the server
 // to tighten deadlines of queued prefetches).
 func (d *Disk) Scheduler() dsched.Scheduler { return d.sched }
@@ -230,6 +251,9 @@ func (d *Disk) run(p *sim.Proc) {
 		d.busy = true
 		d.busyStart = d.k.Now()
 		d.rec.DiskDispatch(d.id, r.Terminal, d.k.Now().Sub(r.Arrival), r.Prefetch, d.sched.Len())
+		if d.observer != nil && !r.Prefetch && r.Deadline < sim.TimeInfinity {
+			d.observer(r.Deadline.Sub(d.k.Now()), d.sched.Len())
+		}
 
 		service := d.access(r)
 		if d.slowFactor > 1 && d.k.Now() < d.slowUntil {
@@ -247,7 +271,9 @@ func (d *Disk) run(p *sim.Proc) {
 			d.stats.Abandoned++
 		} else {
 			d.stats.Served++
-			if r.Prefetch {
+			if r.Rebuild {
+				d.stats.RebuildOps++
+			} else if r.Prefetch {
 				d.stats.PrefetchOps++
 			}
 		}
@@ -374,6 +400,9 @@ func (d *Disk) maybeRepair(at sim.Time) {
 	}
 	d.failed = false
 	d.stats.DownTime += d.k.Now().Sub(d.failStart)
+	if d.repairHook != nil {
+		d.repairHook(d.k.Now().Sub(d.failStart))
+	}
 }
 
 // Failed reports whether the drive is currently fail-stopped.

@@ -31,6 +31,11 @@ type Request struct {
 	// submitted to an already-failed disk.
 	Failed bool
 
+	// Rebuild marks a background mirror-reconstruction transfer
+	// (internal/overload). Rebuild requests ride the non-real-time
+	// queue class like prefetches but are counted separately.
+	Rebuild bool
+
 	// Data carries the issuer's completion context opaquely.
 	Data any
 }

@@ -69,6 +69,7 @@ func Registry() map[string]Runner {
 		"admission":         single(Admission),
 		"vcr":               single(VCRSeek),
 		"faults":            single(Faults),
+		"overload":          single(Overload),
 	}
 }
 

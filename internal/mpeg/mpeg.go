@@ -180,6 +180,17 @@ func (v *Video) FirstIncompleteFrame(frontier int64) int {
 	return i
 }
 
+// FramesSpanned returns how many whole frames complete within the byte
+// range [lo, hi) — the frames a viewer loses when a degraded stream
+// skips that range (overload load shedding).
+func (v *Video) FramesSpanned(lo, hi int64) int {
+	n := v.FirstIncompleteFrame(hi) - v.FirstIncompleteFrame(lo)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
 // FramesDisplayedBy returns how many frames have *finished* displaying
 // after elapsed display time e (display starts at e=0, frame k occupies
 // [k*period, (k+1)*period)).

@@ -1,0 +1,233 @@
+package overload
+
+import (
+	"testing"
+
+	"spiffi/internal/layout"
+	"spiffi/internal/sim"
+)
+
+type fakeLimiter struct{ limit, active int }
+
+func (f *fakeLimiter) SetLimit(n int) { f.limit = n }
+func (f *fakeLimiter) Limit() int     { return f.limit }
+func (f *fakeLimiter) Active() int    { return f.active }
+
+type fakeStream struct{ degraded bool }
+
+func (f *fakeStream) SetDegraded(on bool) { f.degraded = on }
+
+func TestNormalizeDefaults(t *testing.T) {
+	ref := sim.Second
+	c := Config{AdmitLimit: 10, Adaptive: true, Shed: true}.Normalize(ref)
+	if c.Patience != 10*sim.Second || c.RetryDelay != 5*sim.Second {
+		t.Fatalf("admission defaults: patience=%v retry=%v", c.Patience, c.RetryDelay)
+	}
+	if c.Interval != sim.Second || c.SlackLow != ref || c.SlackHigh != 2*ref {
+		t.Fatalf("estimator defaults: interval=%v low=%v high=%v", c.Interval, c.SlackLow, c.SlackHigh)
+	}
+	if c.Alpha != 0.1 || c.MinLimitFraction != 0.25 || c.QueueHigh != 16 {
+		t.Fatalf("estimator defaults: alpha=%v minfrac=%v qhigh=%d", c.Alpha, c.MinLimitFraction, c.QueueHigh)
+	}
+	if c.ProtectedFraction != 0.5 {
+		t.Fatalf("shed default: protected=%v", c.ProtectedFraction)
+	}
+	// The zero config stays zero: nothing is armed, nothing defaults.
+	if z := (Config{}).Normalize(ref); z != (Config{}) {
+		t.Fatalf("zero config normalized to %+v", z)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{AdmitLimit: -1},
+		{RebuildRate: -1},
+		{Adaptive: true},
+		{Shed: true},
+		{AdmitLimit: 4, ProtectedFraction: 1.5},
+		{AdmitLimit: 4, Adaptive: true, Alpha: 2},
+		{AdmitLimit: 4, Adaptive: true, MinLimitFraction: -0.1},
+		{AdmitLimit: 4, Adaptive: true, Interval: -sim.Second},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d (%+v): expected validation error", i, c)
+		}
+	}
+	good := Config{AdmitLimit: 4, Adaptive: true, Shed: true, RebuildRate: 1}.Normalize(sim.Second)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("normalized config invalid: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+}
+
+func TestProtectedCount(t *testing.T) {
+	cases := []struct {
+		frac      float64
+		terminals int
+		want      int
+	}{
+		{0, 10, 10},  // accounting default: everyone protected
+		{0.5, 10, 5},
+		{0.5, 1, 1},
+		{0.01, 10, 1}, // floor at one
+		{1, 10, 10},
+	}
+	for _, c := range cases {
+		got := Config{ProtectedFraction: c.frac}.ProtectedCount(c.terminals)
+		if got != c.want {
+			t.Fatalf("ProtectedCount(frac=%v, n=%d) = %d, want %d", c.frac, c.terminals, got, c.want)
+		}
+	}
+}
+
+// A controller built from a config without Adaptive or Shed must arm
+// nothing: Start is a no-op and the kernel stays empty.
+func TestZeroConfigArmsNothing(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	c := NewController(k, Config{}, 2)
+	c.Start()
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := k.Events(); n != 0 {
+		t.Fatalf("idle controller dispatched %d events", n)
+	}
+}
+
+// Sustained low slack steps the limit down (to its floor, never below)
+// and sheds unprotected streams from the highest id; recovered slack
+// restores the shed streams and raises the limit back.
+func TestControllerPressureAndRelax(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	cfg := Config{AdmitLimit: 16, Adaptive: true, Shed: true}.Normalize(sim.Second)
+	c := NewController(k, cfg, 2)
+	lim := &fakeLimiter{limit: 16, active: 16}
+	c.SetLimiter(lim)
+	streams := make([]Stream, 8)
+	fakes := make([]*fakeStream, 8)
+	for i := range streams {
+		fakes[i] = &fakeStream{}
+		streams[i] = fakes[i]
+	}
+	c.SetStreams(streams, 4) // ids 0..3 protected, 4..7 sheddable
+	c.Start()
+
+	feed := func(from, until sim.Duration, slack sim.Duration) {
+		// Offset from the tick boundary so observation order is
+		// unambiguous at every timestamp.
+		for at := from + 100*sim.Millisecond; at < until; at += 200 * sim.Millisecond {
+			k.At(sim.Time(at), func() { c.ObserveDispatch(0, slack, 2) })
+		}
+	}
+	feed(0, 6*sim.Second, 100*sim.Millisecond) // far below SlackLow
+	if err := k.Run(sim.Time(6*sim.Second + sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if lim.limit >= 16 || st.LimitMin != lim.limit {
+		t.Fatalf("pressure never moved the limit: limit=%d min=%d", lim.limit, st.LimitMin)
+	}
+	if lim.limit < 4 {
+		t.Fatalf("limit %d fell below the 25%% floor", lim.limit)
+	}
+	if c.Degraded() != 4 || st.ShedPeak != 4 || st.Sheds != 4 {
+		t.Fatalf("shed state: degraded=%d peak=%d sheds=%d, want all 4 sheddable",
+			c.Degraded(), st.ShedPeak, st.Sheds)
+	}
+	for i, f := range fakes {
+		if want := i >= 4; f.degraded != want {
+			t.Fatalf("stream %d degraded=%v, want %v (highest ids shed first)", i, f.degraded, want)
+		}
+	}
+
+	feed(6*sim.Second, 14*sim.Second, 10*sim.Second) // far above SlackHigh
+	if err := k.Run(sim.Time(14*sim.Second + sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if c.Degraded() != 0 || st.Restores != 4 {
+		t.Fatalf("recovery left streams shed: degraded=%d restores=%d", c.Degraded(), st.Restores)
+	}
+	for i, f := range fakes {
+		if f.degraded {
+			t.Fatalf("stream %d still degraded after recovery", i)
+		}
+	}
+	if lim.limit <= st.LimitMin {
+		t.Fatalf("recovery never raised the limit: limit=%d min=%d", lim.limit, st.LimitMin)
+	}
+}
+
+// The rebuilder marks exactly the repaired disk's block copies stale,
+// re-copies them in deterministic order, and closes the window: stats
+// record downtime + rebuild duration.
+func TestRebuilderMarksAndClears(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	sizes := []int64{4 * 1024 * 1024, 4 * 1024 * 1024}
+	place := layout.NewStriped(sizes, 1024*1024, 2, 2)
+	place.Mirror()
+	var ios int
+	r := NewRebuilder(k, place, 8*1024*1024, func(p *sim.Proc, g int, offset, size int64) bool {
+		ios++
+		return true
+	})
+	want := 0
+	for v := 0; v < place.NumVideos(); v++ {
+		for b := 0; b < place.NumBlocks(v); b++ {
+			for c := 0; c < place.Replicas(); c++ {
+				if place.LocateCopy(v, b, c).DiskGlobal == 0 {
+					want++
+				}
+			}
+		}
+	}
+	if want == 0 {
+		t.Fatal("disk 0 holds no block copies; probe layout broken")
+	}
+	r.OnRepair(0, 10*sim.Second)
+	// Every disk-0 copy is stale until its rebuild pass reaches it.
+	stale := 0
+	for v := 0; v < place.NumVideos(); v++ {
+		for b := 0; b < place.NumBlocks(v); b++ {
+			for c := 0; c < place.Replicas(); c++ {
+				if r.IsStale(v, b, c) {
+					if place.LocateCopy(v, b, c).DiskGlobal != 0 {
+						t.Fatalf("copy (%d,%d,%d) off the repaired disk marked stale", v, b, c)
+					}
+					stale++
+				}
+			}
+		}
+	}
+	if stale != want {
+		t.Fatalf("stale copies = %d, want %d", stale, want)
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Windows != 1 || st.Rebuilt != int64(want) || st.Aborts != 0 {
+		t.Fatalf("rebuild stats %+v, want %d blocks in one window", st, want)
+	}
+	if ios != 2*want {
+		t.Fatalf("ios = %d, want %d (mirror read + target write per block)", ios, 2*want)
+	}
+	if st.WindowMax <= 10*sim.Second {
+		t.Fatalf("window %v must exceed the 10s downtime it began with", st.WindowMax)
+	}
+	for v := 0; v < place.NumVideos(); v++ {
+		for b := 0; b < place.NumBlocks(v); b++ {
+			for c := 0; c < place.Replicas(); c++ {
+				if r.IsStale(v, b, c) {
+					t.Fatalf("copy (%d,%d,%d) still stale after rebuild", v, b, c)
+				}
+			}
+		}
+	}
+}

@@ -51,6 +51,10 @@ type Stats struct {
 	Nacks   int64 // NACK replies for reads on fail-stopped disks
 	Dropped int64 // requests/replies discarded while the node was down
 	Crashes int64 // crash events applied to this node
+
+	// StaleNacks counts NACKs for block copies awaiting mirror rebuild
+	// on a repaired disk (a subset of Nacks).
+	StaleNacks int64
 }
 
 // Node is one video-server node.
@@ -81,6 +85,11 @@ type Node struct {
 	// already in flight keep running internally but produce no output.
 	down      bool
 	restartAt sim.Time
+
+	// stale, when set, marks block copies awaiting mirror rebuild on a
+	// repaired disk: demand reads NACK (unless buffered) and prefetches
+	// skip them until the rebuilder re-copies the data.
+	stale func(video, block, copy int) bool
 
 	stats Stats
 }
@@ -195,6 +204,14 @@ func (n *Node) handle(p *sim.Proc, req *proto.BlockRequest) {
 		// The copy's disk is dead and the data is not buffered: NACK
 		// immediately so the terminal can fail over without waiting for
 		// a timeout. (Buffered data is still served off a dead disk.)
+		n.nack(p, req)
+		return
+	}
+	if n.stale != nil && !n.pool.Contains(id) && n.stale(req.Video, req.Block, req.Copy) {
+		// The copy's disk repaired but this block has not been rebuilt
+		// from its mirror yet: its on-disk data is garbage. NACK so the
+		// terminal fails over to the healthy copy.
+		n.stats.StaleNacks++
 		n.nack(p, req)
 		return
 	}
@@ -318,6 +335,33 @@ func (n *Node) maybeRestart(at sim.Time) {
 // Down reports whether the node is currently crashed.
 func (n *Node) Down() bool { return n.down }
 
+// SetStaleCheck wires the mirror rebuilder's staleness predicate
+// (nil = no staleness modeling).
+func (n *Node) SetStaleCheck(fn func(video, block, copy int) bool) { n.stale = fn }
+
+// RebuildIO performs one background mirror-reconstruction transfer on
+// a local disk through the non-real-time queue class (infinite
+// deadline, prefetch priority) and reports success. It blocks the
+// calling proc for the disk service time; a failed or crashed disk
+// fails the transfer immediately.
+func (n *Node) RebuildIO(p *sim.Proc, diskLocal int, offset, size int64) bool {
+	done := sim.NewEvent(n.k)
+	dr := &dsched.Request{
+		Offset:   offset,
+		Size:     size,
+		Deadline: sim.TimeInfinity,
+		Terminal: -1,
+		Prefetch: true,
+		Rebuild:  true,
+		// The sentinel page id never collides with inflight demand
+		// fetches, so onDiskComplete just fires the event.
+		Data: &diskDone{node: n, id: bufferpool.PageID{Video: -1, Block: -1}, done: done},
+	}
+	n.disks[diskLocal].Submit(dr)
+	done.Wait(p)
+	return !dr.Failed
+}
+
 // onDiskComplete runs in simulation context when a disk read finishes.
 func (n *Node) onDiskComplete(r *dsched.Request) {
 	ctx := r.Data.(*diskDone)
@@ -361,6 +405,11 @@ func (n *Node) prefetchWorker(p *sim.Proc, diskIdx int) {
 		job := q.Get(p)
 		id := bufferpool.PageID{Video: job.Video, Block: job.Block}
 		if n.pool.Contains(id) {
+			continue
+		}
+		if n.stale != nil && n.stale(job.Video, job.Block, 0) {
+			// The primary copy is awaiting rebuild; prefetching it would
+			// buffer garbage.
 			continue
 		}
 		pg, out := n.pool.Acquire(p, id, -1, true)

@@ -57,6 +57,11 @@ func (t *Terminal) retryOrGiveUp(pr *pendingReq, cause glitchCause) {
 		return
 	}
 	backoff := t.backoffFor(pr.tries)
+	if t.cfg.RetryJitter > 0 {
+		// Jitter is applied at the scheduling site, not in backoffFor,
+		// so the deterministic schedule stays testable in isolation.
+		backoff += sim.Duration(t.jit.Float64() * float64(t.cfg.RetryJitter))
+	}
 	gen := pr.gen
 	t.k.After(backoff+t.cfg.SendLatency, func() {
 		if t.pending[pr.block] != pr || pr.gen != gen || t.vid != pr.vid {

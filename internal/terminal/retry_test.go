@@ -218,6 +218,73 @@ func TestRetryHugeBudgetNoPanic(t *testing.T) {
 	}
 }
 
+// Retry jitter shifts backoff timing but never the outcome counts:
+// the jittered run resolves the same chains with the same NACK, retry
+// and glitch totals, and — drawn from a derived seed stream — replays
+// bit-identically.
+func TestRetryJitterDeterministicCountsExact(t *testing.T) {
+	cfg := retryCfg()
+	cfg.RetryJitter = 20 * sim.Millisecond
+	run := func() Stats {
+		fr := newFaultRig(t, cfg, 5, 4)
+		return fr.run(t, 40*sim.Second)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("jittered runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Nacks != 20 || a.Retries != 15 || a.LostBlocks != 5 || a.GlitchesDiskFail != 5 {
+		t.Fatalf("jitter changed outcome counts: %+v", a)
+	}
+}
+
+// rejectingGate admits a terminal only after rejecting it a scripted
+// number of times — the admission NACK path without a controller.
+type rejectingGate struct {
+	rejects  int
+	admits   int
+	releases int
+}
+
+func (g *rejectingGate) Admit(p *sim.Proc, terminal int) bool {
+	if g.rejects > 0 {
+		g.rejects--
+		return false
+	}
+	g.admits++
+	return true
+}
+
+func (g *rejectingGate) Release(terminal int) { g.releases++ }
+
+// A rejected terminal backs off (base delay + derived jitter) and asks
+// again; once admitted it plays normally and releases its slot per
+// movie. The rejections are visible in the terminal's stats.
+func TestAdmissionRejectRetryLoop(t *testing.T) {
+	cfg := baseCfg()
+	cfg.RandomInitialPosition = false
+	cfg.Admission = &rejectingGate{rejects: 3}
+	cfg.AdmitRetryDelay = 100 * sim.Millisecond
+	rig := newRig(t, cfg, 5*sim.Millisecond)
+	rig.term.Start(0)
+	if err := rig.k.Run(sim.Time(40 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rig.k.Close()
+	st := rig.term.Stats()
+	gate := cfg.Admission.(*rejectingGate)
+	if st.AdmRejects != 3 {
+		t.Fatalf("admission rejects = %d, want the scripted 3", st.AdmRejects)
+	}
+	// At the cutoff the terminal may be mid-movie, holding one slot.
+	if gate.admits == 0 || gate.admits-gate.releases > 1 || gate.releases > gate.admits {
+		t.Fatalf("slot ledger broken: admits=%d releases=%d", gate.admits, gate.releases)
+	}
+	if st.MoviesCompleted < 1 {
+		t.Fatal("admitted terminal never completed a movie")
+	}
+}
+
 // Without the retry machinery a NACK must still resolve the block —
 // otherwise the outstanding-byte ledger leaks and the stream wedges.
 func TestNackWithoutRetryMachinery(t *testing.T) {

@@ -35,6 +35,15 @@ type PauseConfig struct {
 	MeanDuration sim.Duration
 }
 
+// AdmissionGate is the admission-control surface a terminal sees
+// (implemented by admission.Controller). Admit blocks until a stream
+// slot is held (true) or patience expires (false, the NACK path);
+// Release returns the slot at movie end.
+type AdmissionGate interface {
+	Admit(p *sim.Proc, terminal int) bool
+	Release(terminal int)
+}
+
 // StartCoordinator batches terminals that want to start the same video
 // (piggybacking, §8.2). JoinOrLead blocks for the batch delay and reports
 // whether this terminal leads the batch (and must really stream) or rides
@@ -56,6 +65,13 @@ type Config struct {
 	Pause *PauseConfig     // nil = no pausing
 	VCR   *VCRConfig       // nil = no rewind/fast-forward activity
 	Gate  StartCoordinator // nil = every terminal streams for itself
+
+	// Admission, when non-nil, gates every movie start on an admission
+	// slot; AdmitRetryDelay is the base backoff after a rejection
+	// (jittered from the terminal's derived stream so rejected streams
+	// spread out; zero picks 5s).
+	Admission       AdmissionGate
+	AdmitRetryDelay sim.Duration
 
 	// OnRespTime, when non-nil, observes every block request's round
 	// trip (the assembly feeds a shared latency histogram).
@@ -85,6 +101,12 @@ type Config struct {
 	// the backoff past the int64 range into a negative duration, which
 	// the kernel rejects as scheduling in the past.
 	RetryBackoffCap sim.Duration
+
+	// RetryJitter adds a uniform draw from [0, RetryJitter) on top of
+	// each retry backoff, desynchronizing the retry storm when many
+	// streams hit the same dead disk or restarted node. Zero (the
+	// default) draws nothing, keeping scripted retry timing exact.
+	RetryJitter sim.Duration
 }
 
 // Stats aggregates one terminal's counters.
@@ -121,6 +143,12 @@ type Stats struct {
 	Recoveries       int64 // completed glitch-to-resume recoveries
 	RecoverySum      sim.Duration
 	RecoveryMax      sim.Duration
+
+	// Overload-control counters: admission rejections seen by this
+	// terminal, and blocks/frames skipped while shed to degraded mode.
+	AdmRejects     int64
+	DegradedBlocks int64
+	DegradedFrames int64
 }
 
 // Terminal is one subscriber set-top unit.
@@ -175,8 +203,17 @@ type Terminal struct {
 	movieChange *sim.Event
 
 	started bool
-	stats   Stats
-	rec     *trace.Recorder // nil unless tracing is enabled
+	// degraded marks the stream shed to half block rate by the
+	// overload controller: the fetcher skips every other block and the
+	// viewer plays over the holes (bounded quality loss, no underruns).
+	degraded bool
+	stats    Stats
+	rec      *trace.Recorder // nil unless tracing is enabled
+
+	// jit is the terminal's jitter stream (derived, so merely creating
+	// it consumes nothing from src); drawn only on retry backoffs with
+	// RetryJitter set and on admission-rejection backoffs.
+	jit *rng.Source
 }
 
 // New creates a terminal and starts its player and fetcher processes.
@@ -210,6 +247,7 @@ func New(
 		onStarted:   onStarted,
 		movieChange: sim.NewEvent(k),
 		pending:     make(map[int]*pendingReq),
+		jit:         src.Derive("jitter"),
 	}
 	return t
 }
@@ -256,6 +294,9 @@ func (t *Terminal) ResetWindowStats() {
 	t.stats.Recoveries = 0
 	t.stats.RecoverySum = 0
 	t.stats.RecoveryMax = 0
+	t.stats.AdmRejects = 0
+	t.stats.DegradedBlocks = 0
+	t.stats.DegradedFrames = 0
 }
 
 // Started reports whether the terminal has begun displaying its first
@@ -286,14 +327,49 @@ func (t *Terminal) player(p *sim.Proc) {
 				continue
 			}
 		}
+		if t.cfg.Admission != nil {
+			t.awaitAdmission(p)
+		}
 		t.startMovie(vid)
 		if t.cfg.RandomInitialPosition && t.stats.MoviesStarted == 1 {
 			t.seekToRandomPosition()
 		}
 		t.playMovie(p)
+		if t.cfg.Admission != nil {
+			t.cfg.Admission.Release(t.id)
+		}
 		t.stats.MoviesCompleted++
 	}
 }
+
+// awaitAdmission claims a stream slot before each movie, looping
+// through the rejection (NACK) path with jittered backoff. A terminal
+// queued or rejected counts as started: it is an active viewer the
+// warm-up gate (§6) must not wait on forever.
+func (t *Terminal) awaitAdmission(p *sim.Proc) {
+	for {
+		enq := t.k.Now()
+		if t.cfg.Admission.Admit(p, t.id) {
+			if t.k.Now() != enq {
+				t.noteStarted()
+			}
+			return
+		}
+		t.noteStarted()
+		t.stats.AdmRejects++
+		delay := t.cfg.AdmitRetryDelay
+		if delay <= 0 {
+			delay = 5 * sim.Second
+		}
+		delay += sim.Duration(t.jit.Float64() * float64(delay))
+		p.Sleep(delay)
+	}
+}
+
+// SetDegraded moves the stream in or out of degraded (half block
+// rate) mode. Takes effect at the fetcher's next block decision; the
+// overload controller calls this in kernel context.
+func (t *Terminal) SetDegraded(on bool) { t.degraded = on }
 
 // seekToRandomPosition fast-forwards the freshly selected movie to a
 // random block boundary, as if the terminal had already been watching it
@@ -561,6 +637,20 @@ func (t *Terminal) fetcher(p *sim.Proc) {
 			continue
 		}
 		size := t.place.SizeOfBlock(t.vid, t.nextReq)
+		if t.degraded && t.nextReq%2 == 1 {
+			// Shed stream: skip every other block. The hole is admitted
+			// as if it had arrived — display plays over the missing
+			// frames (bounded quality loss) while the disks see half
+			// this stream's demand.
+			b := t.nextReq
+			t.nextReq++
+			lo := int64(b) * t.place.BlockSize()
+			t.stats.DegradedBlocks++
+			t.stats.DegradedFrames += int64(t.video.FramesSpanned(lo, lo+size))
+			t.admit(b, size)
+			t.wakeOnArrival()
+			continue
+		}
 		t.syncConsumption()
 		free := t.cfg.MemBytes - t.BufferedBytes() - t.outstanding
 		if free < size {

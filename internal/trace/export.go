@@ -139,6 +139,18 @@ func WriteChromeTrace(w io.Writer, d *Data) error {
 		case KindAdmWait, KindAdmAdmit, KindAdmRelease:
 			item(`{"ph":"C","pid":%d,"tid":0,"ts":%s,"name":"active_streams","args":{"value":%d}}`,
 				pidAdm, usec(ev.T), ev.A)
+		case KindAdmReject:
+			item(`{"ph":"i","pid":%d,"tid":0,"ts":%s,"name":"reject","s":"p","args":{"terminal":%d,"wait_ns":%d}}`,
+				pidAdm, usec(ev.T), ev.Terminal, ev.C)
+		case KindOverShed, KindOverRestore:
+			item(`{"ph":"C","pid":%d,"tid":1,"ts":%s,"name":"degraded_streams","args":{"value":%d}}`,
+				pidAdm, usec(ev.T), ev.A)
+		case KindOverLimit:
+			item(`{"ph":"C","pid":%d,"tid":2,"ts":%s,"name":"admit_limit","args":{"value":%d}}`,
+				pidAdm, usec(ev.T), ev.A)
+		case KindRebuildStart, KindRebuildDone:
+			item(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":%q,"s":"p","args":{"blocks":%d}}`,
+				pidDisk, ev.A, usec(ev.T), ev.Kind.Name(), ev.B)
 		case KindNetSend:
 			if ev.C == 1 { // only drops are interesting as instants
 				item(`{"ph":"i","pid":%d,"tid":0,"ts":%s,"name":"drop","s":"p","args":{"bytes":%d}}`,

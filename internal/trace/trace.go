@@ -80,12 +80,24 @@ const (
 	KindAdmWait    // A=active B=limit — stream refused, waiting for capacity
 	KindAdmAdmit   // A=active B=limit
 	KindAdmRelease // A=active B=limit
+	KindAdmReject  // A=active B=limit C=wait_ns — patience expired, stream NACKed
 
 	// Terminal.
 	KindTermBuffer // A=buffered_bytes B=outstanding C=frontier_block — occupancy sample at block arrival
 	KindTermGlitch // A=cause B=video C=pos (frame for underruns, block for lost blocks) D=buffered_bytes
 	KindTermPrime  // A=video B=recover_ns (0 on first start) C=primes
 	KindTermSeek   // A=video B=block
+
+	// Overload controller (internal/overload): limit moves and stream
+	// shed/restore decisions, terminal = affected stream (-1 for limit
+	// moves).
+	KindOverShed    // A=degraded B=limit C=slack_ns
+	KindOverRestore // A=degraded B=limit C=slack_ns
+	KindOverLimit   // A=limit B=prev C=slack_ns
+
+	// Mirror rebuild after disk repair.
+	KindRebuildStart // A=disk B=blocks — stale set marked, paced pass begins
+	KindRebuildDone  // A=disk B=rebuilt C=window_ns — redundancy window closed
 
 	numKinds
 )
@@ -142,10 +154,16 @@ var kindInfo = [numKinds]struct {
 	KindAdmWait:      {"adm.wait", "adm", [4]string{"active", "limit", "", ""}},
 	KindAdmAdmit:     {"adm.admit", "adm", [4]string{"active", "limit", "", ""}},
 	KindAdmRelease:   {"adm.release", "adm", [4]string{"active", "limit", "", ""}},
+	KindAdmReject:    {"adm.reject", "adm", [4]string{"active", "limit", "wait_ns", ""}},
 	KindTermBuffer:   {"term.buffer", "term", [4]string{"buffered_bytes", "outstanding", "frontier_block", ""}},
 	KindTermGlitch:   {"term.glitch", "term", [4]string{"cause", "video", "pos", "buffered_bytes"}},
 	KindTermPrime:    {"term.prime", "term", [4]string{"video", "recover_ns", "primes", ""}},
 	KindTermSeek:     {"term.seek", "term", [4]string{"video", "block", "", ""}},
+	KindOverShed:     {"over.shed", "over", [4]string{"degraded", "limit", "slack_ns", ""}},
+	KindOverRestore:  {"over.restore", "over", [4]string{"degraded", "limit", "slack_ns", ""}},
+	KindOverLimit:    {"over.limit", "over", [4]string{"limit", "prev", "slack_ns", ""}},
+	KindRebuildStart: {"rebuild.start", "rebuild", [4]string{"disk", "blocks", "", ""}},
+	KindRebuildDone:  {"rebuild.done", "rebuild", [4]string{"disk", "rebuilt", "window_ns", ""}},
 }
 
 // Name returns the schema name of the kind ("disk.enqueue", …).
@@ -339,6 +357,56 @@ func (r *Recorder) AdmRelease(terminal, active, limit int) {
 		return
 	}
 	r.emit(KindAdmRelease, int32(terminal), int64(active), int64(limit), 0, 0)
+}
+
+// AdmReject records an admission rejection: the stream's patience
+// expired after wait in the queue.
+func (r *Recorder) AdmReject(terminal, active, limit int, wait sim.Duration) {
+	if r == nil {
+		return
+	}
+	r.emit(KindAdmReject, int32(terminal), int64(active), int64(limit), int64(wait), 0)
+}
+
+// OverShed records one stream downshifted to degraded mode.
+func (r *Recorder) OverShed(terminal, degraded, limit int, slack sim.Duration) {
+	if r == nil {
+		return
+	}
+	r.emit(KindOverShed, int32(terminal), int64(degraded), int64(limit), int64(slack), 0)
+}
+
+// OverRestore records one stream restored to full quality.
+func (r *Recorder) OverRestore(terminal, degraded, limit int, slack sim.Duration) {
+	if r == nil {
+		return
+	}
+	r.emit(KindOverRestore, int32(terminal), int64(degraded), int64(limit), int64(slack), 0)
+}
+
+// OverLimit records an adaptive admission-limit move.
+func (r *Recorder) OverLimit(limit, prev int, slack sim.Duration) {
+	if r == nil {
+		return
+	}
+	r.emit(KindOverLimit, -1, int64(limit), int64(prev), int64(slack), 0)
+}
+
+// RebuildStart records the stale-set marking at a disk repair.
+func (r *Recorder) RebuildStart(disk, blocks int) {
+	if r == nil {
+		return
+	}
+	r.emit(KindRebuildStart, -1, int64(disk), int64(blocks), 0, 0)
+}
+
+// RebuildDone records a completed rebuild pass and its window of
+// vulnerability (downtime + rebuild duration).
+func (r *Recorder) RebuildDone(disk, rebuilt int, window sim.Duration) {
+	if r == nil {
+		return
+	}
+	r.emit(KindRebuildDone, -1, int64(disk), int64(rebuilt), int64(window), 0)
 }
 
 // TermBuffer records a playout-buffer occupancy sample, taken whenever
