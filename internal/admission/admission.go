@@ -164,10 +164,15 @@ func (c *Controller) expire(w *waiter) {
 	c.k.Wake(w.p)
 }
 
-// Release returns a stream slot, handing it to the oldest waiter.
-// terminal identifies the departing stream in trace events.
+// Release returns a stream slot. While the admitted population is
+// within the limit the slot is handed to the oldest waiter; after an
+// adaptive limit cut (SetLimit) left active above the limit, the slot
+// is retired instead — waiters stay queued until the population has
+// actually drained down to the new limit, otherwise a lowered limit
+// would never be enforced while the queue is non-empty. terminal
+// identifies the departing stream in trace events.
 func (c *Controller) Release(terminal int) {
-	if len(c.waiters) > 0 {
+	if c.active <= c.limit && len(c.waiters) > 0 {
 		w := c.waiters[0]
 		copy(c.waiters, c.waiters[1:])
 		c.waiters = c.waiters[:len(c.waiters)-1]

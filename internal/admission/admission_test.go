@@ -192,6 +192,57 @@ func TestControllerSetLimit(t *testing.T) {
 	}
 }
 
+// After an adaptive limit cut with waiters queued, Release must retire
+// slots until the population reaches the new limit — not hand them to
+// waiters, which would hold concurrency above the limit forever under
+// sustained overload (waiters are nearly always present there).
+func TestControllerReleaseDrainsToLoweredLimit(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	c := NewController(k, 4)
+	admitActive := make(map[int]int) // waiter terminal -> Active() at its admit
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("holder", func(p *sim.Proc) {
+			c.Admit(p, i)
+			p.Sleep(sim.Duration(i+1) * 10 * sim.Millisecond)
+			c.Release(i)
+		})
+	}
+	for i := 4; i < 6; i++ {
+		i := i
+		k.SpawnAt(sim.Time(sim.Millisecond), "waiter", func(p *sim.Proc) {
+			if !c.Admit(p, i) {
+				t.Errorf("waiter %d rejected without patience configured", i)
+				return
+			}
+			admitActive[i] = c.Active()
+			p.Sleep(100 * sim.Millisecond)
+			c.Release(i)
+		})
+	}
+	k.At(sim.Time(5*sim.Millisecond), func() { c.SetLimit(2) })
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Releases at 10 and 20 ms drain active 4 -> 3 -> 2; only the
+	// releases at 30 and 40 ms hand their slots to the two waiters.
+	if len(admitActive) != 2 {
+		t.Fatalf("admitted %d waiters, want 2", len(admitActive))
+	}
+	for id, active := range admitActive {
+		if active > 2 {
+			t.Fatalf("waiter %d admitted at active=%d, above the lowered limit 2", id, active)
+		}
+	}
+	if c.Active() != 0 {
+		t.Fatalf("slots leaked: %d", c.Active())
+	}
+	if c.Admitted != 6 || c.Rejected != 0 {
+		t.Fatalf("admitted/rejected = %d/%d, want 6/0", c.Admitted, c.Rejected)
+	}
+}
+
 func TestControllerTraceEvents(t *testing.T) {
 	k := sim.NewKernel()
 	defer k.Close()

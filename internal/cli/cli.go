@@ -59,13 +59,14 @@ type Flags struct {
 	Retries        *int
 	BackoffMS      *float64
 	BackoffCapMS   *float64
+	RetryJitterMS  *float64
 
 	// Overload control & recovery (internal/overload, OVERLOAD.md).
-	AdmitLimit  *int
-	Adaptive    *bool
-	Shed        *bool
-	PatienceS   *float64
-	RebuildMBs  *float64
+	AdmitLimit *int
+	Adaptive   *bool
+	Shed       *bool
+	PatienceS  *float64
+	RebuildMBs *float64
 
 	// Workers is not part of core.Config: it sizes the worker pool for
 	// tools that evaluate many runs (searches, sweeps).
@@ -118,6 +119,7 @@ func Register(fs *flag.FlagSet) *Flags {
 		Retries:        fs.Int("retries", 0, "max retries per block (0 = default when faults on)"),
 		BackoffMS:      fs.Float64("backoff", 0, "first retry backoff in ms, doubling per retry (0 = default)"),
 		BackoffCapMS:   fs.Float64("backoffcap", 0, "retry backoff cap in ms (0 = 64x the base backoff)"),
+		RetryJitterMS:  fs.Float64("retryjitter", 0, "uniform jitter bound added to each retry backoff in ms (0 = off)"),
 
 		AdmitLimit: fs.Int("admit", 0, "admission limit on concurrent streams (0 = off)"),
 		Adaptive:   fs.Bool("adaptive", false, "adapt the admission limit from measured disk slack"),
@@ -270,6 +272,7 @@ func (f *Flags) Config() (core.Config, error) {
 	cfg.MaxRetries = *f.Retries
 	cfg.RetryBackoff = sim.DurationOfSeconds(*f.BackoffMS / 1000)
 	cfg.RetryBackoffCap = sim.DurationOfSeconds(*f.BackoffCapMS / 1000)
+	cfg.RetryJitter = sim.DurationOfSeconds(*f.RetryJitterMS / 1000)
 
 	cfg.Overload.AdmitLimit = *f.AdmitLimit
 	cfg.Overload.Adaptive = *f.Adaptive

@@ -122,8 +122,9 @@ type Config struct {
 
 	// RetryJitter adds a uniform draw from a derived per-terminal
 	// stream on top of each retry backoff, breaking up retry
-	// synchronization storms after a node restart. Normalize fills a
-	// default whenever fault injection is enabled; zero draws nothing.
+	// synchronization storms after a node restart. Strictly opt-in:
+	// zero (the default) draws nothing, so fault-injection runs
+	// without it reproduce earlier builds bit for bit.
 	RetryJitter sim.Duration
 
 	// Overload configures the adaptive overload-control subsystem:
@@ -228,9 +229,6 @@ func (c Config) Normalize() Config {
 		}
 		if c.RetryBackoff == 0 {
 			c.RetryBackoff = 200 * sim.Millisecond
-		}
-		if c.RetryJitter == 0 {
-			c.RetryJitter = c.RetryBackoff
 		}
 	}
 	c.Overload = c.Overload.Normalize(c.StripePlayTime())

@@ -69,7 +69,7 @@ func TestProtectedCount(t *testing.T) {
 		terminals int
 		want      int
 	}{
-		{0, 10, 10},  // accounting default: everyone protected
+		{0, 10, 10}, // accounting default: everyone protected
 		{0.5, 10, 5},
 		{0.5, 1, 1},
 		{0.01, 10, 1}, // floor at one
@@ -160,6 +160,87 @@ func TestControllerPressureAndRelax(t *testing.T) {
 	}
 	if lim.limit <= st.LimitMin {
 		t.Fatalf("recovery never raised the limit: limit=%d min=%d", lim.limit, st.LimitMin)
+	}
+}
+
+// Overlapping repairs of a mirror pair leave every copy of every block
+// stale: there is no clean source anywhere, so the passes must park
+// without re-copying anything — a rebuild from a stale mirror would
+// resurrect frozen data and report the redundancy window closed over
+// real loss.
+func TestRebuilderNeverCopiesFromStaleSource(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	sizes := []int64{4 * 1024 * 1024}
+	place := layout.NewStriped(sizes, 1024*1024, 1, 2)
+	place.Mirror()
+	var ios int
+	r := NewRebuilder(k, place, 8*1024*1024, func(p *sim.Proc, g int, offset, size int64) bool {
+		ios++
+		return true
+	})
+	r.OnRepair(0, 10*sim.Second)
+	r.OnRepair(1, 10*sim.Second)
+	if err := k.Run(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Rebuilt != 0 || st.Windows != 0 || ios != 0 {
+		t.Fatalf("rebuild copied from a stale mirror: rebuilt=%d windows=%d ios=%d",
+			st.Rebuilt, st.Windows, ios)
+	}
+	for v := 0; v < place.NumVideos(); v++ {
+		for b := 0; b < place.NumBlocks(v); b++ {
+			for c := 0; c < place.Replicas(); c++ {
+				if !r.IsStale(v, b, c) {
+					t.Fatalf("copy (%d,%d,%d) cleared without a clean source", v, b, c)
+				}
+			}
+		}
+	}
+}
+
+// A pass whose source copies are stale defers those blocks and resumes
+// once the mirror is rebuilt: the window only closes after every copy
+// came from a clean source.
+func TestRebuilderWaitsForStaleSource(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	sizes := []int64{4 * 1024 * 1024}
+	place := layout.NewStriped(sizes, 1024*1024, 1, 2)
+	place.Mirror()
+	r := NewRebuilder(k, place, 8*1024*1024, func(p *sim.Proc, g int, offset, size int64) bool {
+		return true
+	})
+	// Simulate an overlapping rebuild on the mirror disk: every copy on
+	// disk 1 (the sources for disk 0's pass) is stale until t=30s.
+	srcs := r.enumerate(1)
+	for _, ref := range srcs {
+		r.stale[ref] = true
+	}
+	r.OnRepair(0, 10*sim.Second)
+	k.At(sim.Time(30*sim.Second), func() {
+		for _, ref := range srcs {
+			delete(r.stale, ref)
+		}
+	})
+	if err := k.Run(sim.Time(20 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Rebuilt != 0 || st.Windows != 0 {
+		t.Fatalf("pass progressed on stale sources: rebuilt=%d windows=%d", st.Rebuilt, st.Windows)
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Windows != 1 || st.Rebuilt == 0 || st.Aborts != 0 {
+		t.Fatalf("pass never resumed after the sources cleared: %+v", st)
+	}
+	for _, ref := range r.enumerate(0) {
+		if r.IsStale(ref.v, ref.b, ref.c) {
+			t.Fatalf("copy %+v still stale after rebuild", ref)
+		}
 	}
 }
 

@@ -119,9 +119,17 @@ func (r *Rebuilder) run(p *sim.Proc, diskGlobal int, epoch uint64, refs []blockR
 		if r.epoch[diskGlobal] != epoch {
 			return // superseded by a later repair
 		}
-		src := r.place.LocateCopy(ref.v, ref.b, (ref.c+1)%r.place.Replicas())
-		for !r.io(p, src.DiskGlobal, src.Offset, src.Size) {
-			// Mirror source down too: wait for it to come back.
+		srcRef := blockRef{ref.v, ref.b, (ref.c + 1) % r.place.Replicas()}
+		src := r.place.LocateCopy(srcRef.v, srcRef.b, srcRef.c)
+		for r.stale[srcRef] || !r.io(p, src.DiskGlobal, src.Offset, src.Size) {
+			// Mirror source unusable: stale from an overlapping rebuild
+			// (copying it would spread frozen data and report the window
+			// closed over real loss) or its disk is down. Wait for it to
+			// become clean and readable; if both copies of a block are
+			// stale — overlapping failures of a mirror pair — the data is
+			// genuinely gone, the pass parks here and the window stays
+			// open, so demand reads keep NACKing and the loss shows up in
+			// StaleNacks/LostBlocks instead of being papered over.
 			p.Sleep(sim.Second)
 			if r.epoch[diskGlobal] != epoch {
 				return
