@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race determinism verify bench bench-workers trace-guard trace-demo staticcheck govulncheck chaos
+.PHONY: all build vet test race determinism verify bench bench-workers bench-snapshot trace-guard trace-demo staticcheck govulncheck chaos chaos-soak
 
 all: verify
 
@@ -54,7 +54,17 @@ govulncheck:
 		echo "govulncheck not installed; skipping"; \
 	fi
 
-verify: build vet staticcheck govulncheck test race trace-guard
+# Chaos soak (FAULTS.md): seeded randomized fault schedules — node
+# crashes, disk fail-stops and slowdowns, network loss — under the race
+# detector with run-end invariant checks (admission slot conservation,
+# impacted = recovered + lost, protected streams never shed-glitched,
+# same-seed metric equality). The -short budget runs one seed so
+# `verify` stays quick; drop it (CHAOS_SOAK_FLAGS=) to soak every seed.
+CHAOS_SOAK_FLAGS ?= -short
+chaos-soak:
+	$(GO) test -race $(CHAOS_SOAK_FLAGS) -run ChaosSoak -timeout 10m ./internal/core/
+
+verify: build vet staticcheck govulncheck test race trace-guard chaos-soak
 
 # Seeded chaos suite under the race detector: fault injection, overload
 # control, admission, retry and rebuild tests (FAULTS.md, OVERLOAD.md).
@@ -75,3 +85,10 @@ bench:
 # 1-worker vs GOMAXPROCS-worker quick-fidelity sweep (see bench_test.go).
 bench-workers:
 	$(GO) test -bench QuickWorkers -benchtime 1x -timeout 60m -run '^$$' .
+
+# Committed perf trajectory (ROADMAP): write the BENCH_<pr>.json
+# snapshot — single-run throughput (untraced + traced) and the fig11
+# worker-scaling speedup. Set BENCH_OUT to name the data point.
+BENCH_OUT ?= BENCH_6.json
+bench-snapshot:
+	$(GO) run ./cmd/spiffi-benchsnap -out $(BENCH_OUT)

@@ -1,0 +1,160 @@
+// Command spiffi-benchsnap emits a machine-readable performance
+// snapshot of the simulator — the ROADMAP's "committed perf
+// trajectory" data points (BENCH_<pr>.json at the repo root). It
+// measures the two numbers the bench harness watches:
+//
+//   - single-run throughput: one 200-terminal, 16-disk run at bench
+//     fidelity (the BenchmarkSingleRun shape), untraced and traced, in
+//     simulation events per wall-clock second;
+//   - worker scaling: the Figure-11 memory sweep (an embarrassingly
+//     parallel 12-search workload) with 1 worker vs GOMAXPROCS workers.
+//
+// Usage:
+//
+//	go run ./cmd/spiffi-benchsnap -out BENCH_6.json [-runs 3]
+//
+// Numbers are wall-clock and host-dependent: snapshots are comparable
+// only against snapshots from the same class of machine. The simulation
+// results themselves are deterministic; only the timings move.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"spiffi"
+	"spiffi/internal/experiments"
+)
+
+type singleRun struct {
+	Runs           int     `json:"runs"`
+	Events         uint64  `json:"sim_events_per_run"`
+	WallMSPerRun   float64 `json:"wall_ms_per_run"`
+	EventsPerSec   float64 `json:"sim_events_per_sec"`
+	TraceEventsRun uint64  `json:"trace_events_per_run,omitempty"`
+}
+
+type workerScaling struct {
+	Sweep     string  `json:"sweep"`
+	Workers1  float64 `json:"workers_1_wall_ms"`
+	WorkersN  int     `json:"workers_n"`
+	WorkersNT float64 `json:"workers_n_wall_ms"`
+	Speedup   float64 `json:"speedup"`
+}
+
+type snapshot struct {
+	Schema        int           `json:"schema"`
+	Date          string        `json:"date"`
+	GoVersion     string        `json:"go_version"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	SingleRun     singleRun     `json:"single_run"`
+	SingleTraced  singleRun     `json:"single_run_traced"`
+	WorkerScaling workerScaling `json:"worker_scaling"`
+}
+
+func benchCfg(traced bool) spiffi.Config {
+	cfg := spiffi.DefaultConfig(200)
+	cfg.Video.Length = 6 * spiffi.Minute
+	cfg.MeasureTime = 45 * spiffi.Second
+	cfg.StartWindow = 20 * spiffi.Second
+	if traced {
+		cfg.Trace = spiffi.TraceOptions{Enabled: true}
+	}
+	return cfg
+}
+
+func measureSingle(runs int, traced bool) (singleRun, error) {
+	var out singleRun
+	out.Runs = runs
+	var events, traceEvents uint64
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		m, err := spiffi.Run(benchCfg(traced))
+		if err != nil {
+			return out, err
+		}
+		events += m.Events
+		if m.Trace != nil {
+			traceEvents += m.Trace.Total
+		}
+	}
+	elapsed := time.Since(start)
+	out.Events = events / uint64(runs)
+	out.WallMSPerRun = float64(elapsed.Milliseconds()) / float64(runs)
+	out.EventsPerSec = float64(events) / elapsed.Seconds()
+	out.TraceEventsRun = traceEvents / uint64(runs)
+	return out, nil
+}
+
+func measureSweep(workers int) (float64, error) {
+	f := experiments.Bench()
+	f.Workers = workers
+	start := time.Now()
+	if _, err := experiments.Run("fig11", f); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Milliseconds()), nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_6.json", "output path ('-' = stdout)")
+	runs := flag.Int("runs", 3, "single-run iterations to average over")
+	flag.Parse()
+
+	snap := snapshot{
+		Schema:     1,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	var err error
+	if snap.SingleRun, err = measureSingle(*runs, false); err != nil {
+		fail(err)
+	}
+	if snap.SingleTraced, err = measureSingle(*runs, true); err != nil {
+		fail(err)
+	}
+	// Worker scaling: 1 worker first (the cold libraries warm up on the
+	// serial pass, biasing, if anything, against the parallel speedup).
+	if snap.WorkerScaling.Workers1, err = measureSweep(1); err != nil {
+		fail(err)
+	}
+	snap.WorkerScaling.Sweep = "fig11/bench"
+	snap.WorkerScaling.WorkersN = runtime.GOMAXPROCS(0)
+	if snap.WorkerScaling.WorkersNT, err = measureSweep(0); err != nil {
+		fail(err)
+	}
+	if snap.WorkerScaling.WorkersNT > 0 {
+		snap.WorkerScaling.Speedup = snap.WorkerScaling.Workers1 / snap.WorkerScaling.WorkersNT
+	}
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s: %.0f sim-events/s untraced, %.0f traced, %dx-worker sweep speedup %.2f\n",
+		*out, snap.SingleRun.EventsPerSec, snap.SingleTraced.EventsPerSec,
+		snap.WorkerScaling.WorkersN, snap.WorkerScaling.Speedup)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "spiffi-benchsnap:", err)
+	os.Exit(1)
+}

@@ -84,16 +84,21 @@ type Controller struct {
 	limit    int
 	active   int
 	waiters  []*waiter
+	prio     []*waiter // failover re-admissions, always popped first
 	patience sim.Duration // 0 = wait forever
 	rec      *trace.Recorder
 
 	// Admitted, Waited and Rejected count outcomes; Waited counts
 	// Admit calls that had to queue (a proxy for user-visible start
-	// latency), WaitSum their total queueing time.
-	Admitted int64
-	Waited   int64
-	Rejected int64
-	WaitSum  sim.Duration
+	// latency), WaitSum their total queueing time. The Failover pair
+	// breaks out the priority-path (AdmitFailover) outcomes, which are
+	// also included in the totals.
+	Admitted         int64
+	Waited           int64
+	Rejected         int64
+	WaitSum          sim.Duration
+	FailoverAdmitted int64
+	FailoverRejected int64
 }
 
 // NewController creates a controller admitting at most `limit` streams.
@@ -121,16 +126,35 @@ func (c *Controller) SetPatience(d sim.Duration) {
 // patience expired in the queue (the NACK-on-reject path — the caller
 // backs off and may retry). terminal identifies the stream in traces.
 func (c *Controller) Admit(p *sim.Proc, terminal int) bool {
+	return c.admit(p, terminal, false)
+}
+
+// AdmitFailover claims a stream slot for a session migrating off a
+// crashed node. It behaves like Admit — same patience, same NACK path —
+// but queues ahead of every normal arrival: survivors' spare capacity
+// goes to keeping running sessions alive before starting new ones.
+func (c *Controller) AdmitFailover(p *sim.Proc, terminal int) bool {
+	return c.admit(p, terminal, true)
+}
+
+func (c *Controller) admit(p *sim.Proc, terminal int, failover bool) bool {
 	if c.active < c.limit {
 		c.active++
 		c.Admitted++
+		if failover {
+			c.FailoverAdmitted++
+		}
 		c.rec.AdmAdmit(terminal, c.active, c.limit)
 		return true
 	}
 	c.Waited++
 	c.rec.AdmWait(terminal, c.active, c.limit)
 	w := &waiter{p: p, terminal: terminal, enq: c.k.Now()}
-	c.waiters = append(c.waiters, w)
+	if failover {
+		c.prio = append(c.prio, w)
+	} else {
+		c.waiters = append(c.waiters, w)
+	}
 	if c.patience > 0 {
 		c.k.After(c.patience, func() { c.expire(w) })
 	}
@@ -139,13 +163,35 @@ func (c *Controller) Admit(p *sim.Proc, terminal int) bool {
 	c.WaitSum += wait
 	if w.rejected {
 		c.Rejected++
+		if failover {
+			c.FailoverRejected++
+		}
 		c.rec.AdmReject(terminal, c.active, c.limit, wait)
 		return false
 	}
 	// The releaser (or a limit raise) transferred a slot to us.
 	c.Admitted++
+	if failover {
+		c.FailoverAdmitted++
+	}
 	c.rec.AdmAdmit(terminal, c.active, c.limit)
 	return true
+}
+
+// popWaiter dequeues the next stream to hand a slot to: the oldest
+// failover re-admission if any, else the oldest normal waiter.
+func (c *Controller) popWaiter() *waiter {
+	q := &c.prio
+	if len(*q) == 0 {
+		q = &c.waiters
+	}
+	if len(*q) == 0 {
+		return nil
+	}
+	w := (*q)[0]
+	copy(*q, (*q)[1:])
+	*q = (*q)[:len(*q)-1]
+	return w
 }
 
 // expire rejects a waiter whose patience ran out, unless a slot
@@ -154,10 +200,12 @@ func (c *Controller) expire(w *waiter) {
 	if w.admitted || w.rejected {
 		return
 	}
-	for i, q := range c.waiters {
-		if q == w {
-			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
-			break
+	for _, q := range []*[]*waiter{&c.prio, &c.waiters} {
+		for i, e := range *q {
+			if e == w {
+				*q = append((*q)[:i], (*q)[i+1:]...)
+				break
+			}
 		}
 	}
 	w.rejected = true
@@ -169,17 +217,20 @@ func (c *Controller) expire(w *waiter) {
 // adaptive limit cut (SetLimit) left active above the limit, the slot
 // is retired instead — waiters stay queued until the population has
 // actually drained down to the new limit, otherwise a lowered limit
-// would never be enforced while the queue is non-empty. terminal
-// identifies the departing stream in trace events.
+// would never be enforced while the queue is non-empty. Failover
+// re-admissions bypass that drain rule: a migrant held this very slot a
+// moment ago, so handing it back never grows the population the cut is
+// draining, and keeping running sessions alive outranks enforcing the
+// cut one release sooner. terminal identifies the departing stream in
+// trace events.
 func (c *Controller) Release(terminal int) {
-	if c.active <= c.limit && len(c.waiters) > 0 {
-		w := c.waiters[0]
-		copy(c.waiters, c.waiters[1:])
-		c.waiters = c.waiters[:len(c.waiters)-1]
-		w.admitted = true
-		c.rec.AdmRelease(terminal, c.active, c.limit)
-		c.k.Wake(w.p)
-		return
+	if len(c.prio) > 0 || c.active <= c.limit {
+		if w := c.popWaiter(); w != nil {
+			w.admitted = true
+			c.rec.AdmRelease(terminal, c.active, c.limit)
+			c.k.Wake(w.p)
+			return
+		}
 	}
 	c.active--
 	c.rec.AdmRelease(terminal, c.active, c.limit)
@@ -193,10 +244,11 @@ func (c *Controller) SetLimit(n int) {
 		n = 1
 	}
 	c.limit = n
-	for c.active < c.limit && len(c.waiters) > 0 {
-		w := c.waiters[0]
-		copy(c.waiters, c.waiters[1:])
-		c.waiters = c.waiters[:len(c.waiters)-1]
+	for c.active < c.limit {
+		w := c.popWaiter()
+		if w == nil {
+			break
+		}
 		w.admitted = true
 		c.active++
 		c.k.Wake(w.p)
@@ -209,5 +261,5 @@ func (c *Controller) Limit() int { return c.limit }
 // Active reports the number of admitted streams.
 func (c *Controller) Active() int { return c.active }
 
-// Waiting reports the number of queued streams.
-func (c *Controller) Waiting() int { return len(c.waiters) }
+// Waiting reports the number of queued streams (both queues).
+func (c *Controller) Waiting() int { return len(c.waiters) + len(c.prio) }

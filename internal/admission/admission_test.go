@@ -280,3 +280,79 @@ func TestControllerTraceEvents(t *testing.T) {
 		}
 	}
 }
+
+// A failover re-admission queued behind normal waiters is handed the
+// next freed slot first, and its outcomes land in the Failover counters.
+func TestControllerFailoverPriority(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	c := NewController(k, 1)
+	var order []int
+	k.Spawn("holder", func(p *sim.Proc) {
+		c.Admit(p, 0)
+		p.Sleep(100 * sim.Millisecond)
+		c.Release(0)
+	})
+	for i := 1; i <= 2; i++ {
+		i := i
+		k.SpawnAt(sim.Time(i)*sim.Time(sim.Millisecond), "normal", func(p *sim.Proc) {
+			c.Admit(p, i)
+			order = append(order, i)
+			p.Sleep(50 * sim.Millisecond)
+			c.Release(i)
+		})
+	}
+	k.SpawnAt(sim.Time(10*sim.Millisecond), "failover", func(p *sim.Proc) {
+		if !c.AdmitFailover(p, 9) {
+			t.Error("failover re-admission rejected")
+		}
+		order = append(order, 9)
+		p.Sleep(50 * sim.Millisecond)
+		c.Release(9)
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{9, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("admission order = %v, want %v", order, want)
+		}
+	}
+	if c.FailoverAdmitted != 1 || c.FailoverRejected != 0 {
+		t.Fatalf("failover counters = %d/%d, want 1/0", c.FailoverAdmitted, c.FailoverRejected)
+	}
+	if c.Active() != 0 {
+		t.Fatalf("slots leaked: %d", c.Active())
+	}
+}
+
+// A failover re-admission is still bounded by patience: when survivors
+// have no capacity it is rejected like any other waiter.
+func TestControllerFailoverPatienceReject(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	c := NewController(k, 1)
+	c.SetPatience(100 * sim.Millisecond)
+	var got bool
+	k.Spawn("holder", func(p *sim.Proc) {
+		c.Admit(p, 0)
+		p.Sleep(sim.Second)
+		c.Release(0)
+	})
+	k.SpawnAt(sim.Time(sim.Millisecond), "failover", func(p *sim.Proc) {
+		got = c.AdmitFailover(p, 1)
+	})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("failover admission succeeded with no capacity")
+	}
+	if c.FailoverRejected != 1 {
+		t.Fatalf("FailoverRejected = %d, want 1", c.FailoverRejected)
+	}
+	if c.Waiting() != 0 {
+		t.Fatalf("rejected waiter left in queue: %d", c.Waiting())
+	}
+}

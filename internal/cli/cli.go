@@ -55,6 +55,9 @@ type Flags struct {
 	FaultNetLoss   *float64
 	FaultJitterMS  *float64
 	Mirror         *bool
+	MirrorNode     *bool
+	Failover       *bool
+	RejoinWarmupS  *float64
 	ReqTimeoutS    *float64
 	Retries        *int
 	BackoffMS      *float64
@@ -115,6 +118,9 @@ func Register(fs *flag.FlagSet) *Flags {
 		FaultNetLoss:   fs.Float64("faultnetloss", 0, "per-message network drop probability (0 = off)"),
 		FaultJitterMS:  fs.Float64("faultnetjitter", 0, "max extra network latency in ms (0 = off)"),
 		Mirror:         fs.Bool("mirror", false, "store a declustered replica of every video"),
+		MirrorNode:     fs.Bool("mirrornode", false, "place replicas cross-node (interleaved declustering; requires -mirror)"),
+		Failover:       fs.Bool("failover", false, "redirect around suspect nodes and re-admit with priority (requires -mirror)"),
+		RejoinWarmupS:  fs.Float64("rejoinwarmup", 0, "adaptive-limit hold after a node rejoins, seconds (0 = default 30 with -failover)"),
 		ReqTimeoutS:    fs.Float64("reqtimeout", 0, "terminal request timeout in seconds (0 = default when faults on)"),
 		Retries:        fs.Int("retries", 0, "max retries per block (0 = default when faults on)"),
 		BackoffMS:      fs.Float64("backoff", 0, "first retry backoff in ms, doubling per retry (0 = default)"),
@@ -267,6 +273,9 @@ func (f *Flags) Config() (core.Config, error) {
 		NetJitterMax:    sim.DurationOfSeconds(*f.FaultJitterMS / 1000),
 	}
 	cfg.ReplicateVideos = *f.Mirror
+	cfg.MirrorCrossNode = *f.MirrorNode
+	cfg.Failover = *f.Failover
+	cfg.RejoinWarmup = sim.DurationOfSeconds(*f.RejoinWarmupS)
 	cfg.Trace = f.TraceOptions()
 	cfg.RequestTimeout = sim.DurationOfSeconds(*f.ReqTimeoutS)
 	cfg.MaxRetries = *f.Retries

@@ -1,0 +1,144 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spiffi/internal/core"
+	"spiffi/internal/faults"
+	"spiffi/internal/sim"
+)
+
+// chaosConfig is the chaos-soak scenario: a mid-size cross-node-mirrored
+// system with failover, adaptive admission, shedding and rebuild all
+// armed, soaked in a seeded randomized fault schedule (disk slowdowns,
+// disk fail-stops, node crashes, network loss and jitter) on top of one
+// pinned node crash so every seed exercises the failover path.
+func chaosConfig(seed uint64) core.Config {
+	cfg := core.DefaultConfig(22)
+	cfg.Seed = seed
+	cfg.Nodes = 4
+	cfg.DisksPerNode = 2
+	cfg.VideosPerDisk = 2
+	cfg.Video.Length = 2 * sim.Minute
+	cfg.ServerMemBytes = 64 * core.MB
+	cfg.StartWindow = 10 * sim.Second
+	cfg.MeasureTime = 2 * sim.Minute
+	cfg.StartupGrace = 5 * sim.Minute
+	cfg.ReplicateVideos = true
+	cfg.MirrorCrossNode = true
+	cfg.Failover = true
+	cfg.Overload.AdmitLimit = 20
+	cfg.Overload.Adaptive = true
+	cfg.Overload.Shed = true
+	cfg.Overload.RebuildRate = 8 * core.MB
+	cfg.Faults = faults.Config{
+		DiskSlowRate:    4,
+		DiskFailRate:    2,
+		DiskRepairTime:  10 * sim.Second,
+		NodeCrashRate:   4,
+		NodeRestartTime: 15 * sim.Second,
+		NetLossProb:     0.002,
+		NetJitterMax:    2 * sim.Millisecond,
+	}
+	return cfg
+}
+
+// runChaos runs one seeded soak and audits the invariants that must hold
+// whatever the fault schedule did.
+func runChaos(t *testing.T, seed uint64) core.Metrics {
+	t.Helper()
+	s, err := core.NewSimulation(chaosConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ScheduleNodeCrash(1, sim.Time(60*sim.Second), 15*sim.Second)
+	m, err := s.Run()
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if !m.Started {
+		t.Fatalf("seed %d: never reached steady state", seed)
+	}
+	if m.BlocksServed == 0 || m.MoviesCompleted == 0 {
+		t.Fatalf("seed %d: no progress: blocks=%d movies=%d", seed, m.BlocksServed, m.MoviesCompleted)
+	}
+
+	// Admission slot conservation: the controller's active count must
+	// equal the number of terminals actually holding a slot — a crash,
+	// shed, abort or failover re-admission that leaked or double-counted
+	// a slot breaks this.
+	holders := 0
+	for _, term := range s.Terminals() {
+		if term.HoldsSlot() {
+			holders++
+		}
+		// A deadlocked terminal would strand issued-but-unresolved
+		// requests; outstanding counts must stay sane.
+		if o := term.Outstanding(); o < 0 {
+			t.Fatalf("seed %d: negative outstanding requests: %d", seed, o)
+		}
+	}
+	adm := s.Admission()
+	if adm.Active() != holders {
+		t.Fatalf("seed %d: admission says %d active, %d terminals hold slots",
+			seed, adm.Active(), holders)
+	}
+	if adm.Active() < 0 || adm.Waiting() < 0 {
+		t.Fatalf("seed %d: negative admission state: active=%d waiting=%d",
+			seed, adm.Active(), adm.Waiting())
+	}
+
+	// Every impacted session must terminate as recovered or accounted
+	// lost — none may vanish.
+	if m.SessionsImpacted != m.SessionsRecovered+m.SessionsLost {
+		t.Fatalf("seed %d: session accounting leaked: impacted=%d recovered=%d lost=%d",
+			seed, m.SessionsImpacted, m.SessionsRecovered, m.SessionsLost)
+	}
+	if m.NodeRejoins > m.NodeSuspects {
+		t.Fatalf("seed %d: more rejoins than suspicion episodes: %d > %d",
+			seed, m.NodeRejoins, m.NodeSuspects)
+	}
+
+	// Shedding must only ever degrade unprotected streams.
+	if m.DegradedBlocksProtected != 0 {
+		t.Fatalf("seed %d: shed degraded %d protected blocks", seed, m.DegradedBlocksProtected)
+	}
+
+	// The glitch post-mortem partitions every glitch by cause, and a
+	// crashed node's silent drops split exactly into requests and replies.
+	if m.GlitchesUnderrun+m.GlitchesDiskFail+m.GlitchesTimeout != m.Glitches {
+		t.Fatalf("seed %d: glitch causes %d+%d+%d don't partition %d glitches",
+			seed, m.GlitchesUnderrun, m.GlitchesDiskFail, m.GlitchesTimeout, m.Glitches)
+	}
+	if m.Nodes.DroppedReqs+m.Nodes.DroppedReplies != m.Nodes.Dropped {
+		t.Fatalf("seed %d: drop accounting leaked: req=%d reply=%d total=%d",
+			seed, m.Nodes.DroppedReqs, m.Nodes.DroppedReplies, m.Nodes.Dropped)
+	}
+	return m
+}
+
+// TestChaosSoak soaks seeded randomized fault schedules with every
+// robustness mechanism armed and asserts the invariants, plus that each
+// seed replays bit-identically (`make chaos-soak` runs this under
+// -race; -short trims to one seed for the verify budget).
+func TestChaosSoak(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			first := runChaos(t, seed)
+			if first.Nodes.Crashes == 0 || first.SessionsImpacted == 0 {
+				t.Fatalf("soak exercised no failover: crashes=%d impacted=%d",
+					first.Nodes.Crashes, first.SessionsImpacted)
+			}
+			again := runChaos(t, seed)
+			if fmt.Sprintf("%+v", first) != fmt.Sprintf("%+v", again) {
+				t.Fatalf("seed %d not reproducible:\n%+v\n%+v", seed, first, again)
+			}
+		})
+	}
+}

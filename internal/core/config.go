@@ -108,6 +108,32 @@ type Config struct {
 	// over around a dead disk. Doubles per-disk space.
 	ReplicateVideos bool
 
+	// MirrorCrossNode places every replica on a *different node* than
+	// its primary (layout.MirrorCrossNode) instead of the chained-disk
+	// default, so a whole-node crash leaves every block reachable.
+	// Requires ReplicateVideos and at least two nodes.
+	MirrorCrossNode bool
+
+	// Failover enables session continuity across node crashes: blocks
+	// homed on a suspect node are proactively resolved to their mirror
+	// copy and impacted sessions re-admit through the failover-priority
+	// path. Requires ReplicateVideos; Normalize fills SuspectThreshold
+	// and RejoinWarmup when set.
+	Failover bool
+
+	// SuspectThreshold is the consecutive-timeout count (across all
+	// terminals) at which a node is marked suspect. 0 disables the
+	// health tracker unless Failover is set (Normalize then fills 2).
+	// Setting it without Failover still runs suspicion tracking and
+	// recovered/lost session accounting — the comparison baseline.
+	SuspectThreshold int
+
+	// RejoinWarmup holds the adaptive admission limit down for this
+	// long after a crashed node restarts, so the rejoining node is not
+	// instantly re-saturated (0 = none; Normalize fills 30s with
+	// Failover set).
+	RejoinWarmup sim.Duration
+
 	// RequestTimeout/MaxRetries/RetryBackoff configure the terminals'
 	// degraded-mode retry machinery. A zero RequestTimeout disables it
 	// entirely (no timers are armed); Normalize fills all three with
@@ -215,7 +241,13 @@ func (c Config) Normalize() Config {
 		}
 	}
 	c.Faults.Normalize()
-	if c.Faults.Enabled() {
+	if c.Failover && c.SuspectThreshold == 0 {
+		c.SuspectThreshold = 2
+	}
+	if c.Failover && c.RejoinWarmup == 0 {
+		c.RejoinWarmup = 30 * sim.Second
+	}
+	if c.Faults.Enabled() || c.SuspectThreshold > 0 {
 		// Degraded-mode operation needs the retry machinery; fill
 		// defaults so a bare fault config behaves sensibly. With faults
 		// disabled RequestTimeout stays zero and no timers are armed —
@@ -288,6 +320,18 @@ func (c Config) Validate() error {
 	}
 	if c.ReplicateVideos && c.TotalDisks() < 2 {
 		return fmt.Errorf("core: replication needs at least two disks")
+	}
+	if c.MirrorCrossNode && !c.ReplicateVideos {
+		return fmt.Errorf("core: cross-node mirroring needs ReplicateVideos")
+	}
+	if c.MirrorCrossNode && c.Nodes < 2 {
+		return fmt.Errorf("core: cross-node mirroring needs at least two nodes")
+	}
+	if c.Failover && !c.ReplicateVideos {
+		return fmt.Errorf("core: failover needs ReplicateVideos (no mirror to redirect to)")
+	}
+	if c.SuspectThreshold < 0 || c.RejoinWarmup < 0 {
+		return fmt.Errorf("core: negative failover parameter")
 	}
 	if v := c.VCR; v != nil {
 		if v.MeanSeeksPerMovie < 0 || v.MeanDistanceFrac <= 0 ||

@@ -1,0 +1,158 @@
+package core_test
+
+import (
+	"testing"
+
+	"spiffi/internal/core"
+	"spiffi/internal/experiments"
+	"spiffi/internal/sim"
+)
+
+// A crashed node with cross-node mirroring and failover enabled: every
+// session the crash impacts redirects to the survivors' mirror copies
+// and recovers, with its failover latency measured; nothing is lost even
+// though the node never restarts.
+func TestFailoverRecoversCrashedNodeSessions(t *testing.T) {
+	m, err := experiments.FailoverProbe(true, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Started {
+		t.Fatal("never started")
+	}
+	if m.Nodes.Crashes == 0 || m.Nodes.DroppedReqs == 0 {
+		t.Fatalf("crashed node dropped nothing silently: crashes=%d dropped req=%d reply=%d",
+			m.Nodes.Crashes, m.Nodes.DroppedReqs, m.Nodes.DroppedReplies)
+	}
+	if m.NodeSuspects == 0 {
+		t.Fatalf("timeouts never tripped node suspicion: %+v", m)
+	}
+	if m.SessionsImpacted == 0 {
+		t.Fatalf("crash impacted no sessions: %+v", m)
+	}
+	if m.SessionsRecovered != m.SessionsImpacted || m.SessionsLost != 0 {
+		t.Fatalf("impacted=%d recovered=%d lost=%d, want full recovery",
+			m.SessionsImpacted, m.SessionsRecovered, m.SessionsLost)
+	}
+	if m.FailoverRedirects == 0 {
+		t.Fatal("no fetches were redirected to mirror copies")
+	}
+	if m.FailoverLatAvg <= 0 || m.FailoverLatMax < m.FailoverLatAvg {
+		t.Fatalf("failover latency unmeasured: avg=%v max=%v", m.FailoverLatAvg, m.FailoverLatMax)
+	}
+}
+
+// The same crash with failover disabled: the watchdog accounting still
+// sees the impacted sessions, but nothing redirects proactively, so with
+// the node never restarting every impacted session ends the run lost.
+func TestFailoverDisabledReportsSessionsLost(t *testing.T) {
+	m, err := experiments.FailoverProbe(true, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Started {
+		t.Fatal("never started")
+	}
+	if m.SessionsImpacted == 0 {
+		t.Fatalf("crash impacted no sessions: %+v", m)
+	}
+	if m.SessionsRecovered != 0 || m.SessionsLost != m.SessionsImpacted {
+		t.Fatalf("impacted=%d recovered=%d lost=%d, want all lost without failover",
+			m.SessionsImpacted, m.SessionsRecovered, m.SessionsLost)
+	}
+	if m.FailoverRedirects != 0 || m.FailoverReadmits != 0 {
+		t.Fatalf("failover machinery ran while disabled: redirects=%d readmits=%d",
+			m.FailoverRedirects, m.FailoverReadmits)
+	}
+}
+
+// Intra-node chained mirroring is useless against a whole-node crash —
+// the mirror of a dead node's disk lives on the same dead node — so
+// recovery waits for the node itself to restart and rejoin.
+func TestIntraNodeMirrorRecoversOnlyAfterRestart(t *testing.T) {
+	m, err := experiments.FailoverProbe(false, true, 20*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Started {
+		t.Fatal("never started")
+	}
+	if m.SessionsImpacted == 0 {
+		t.Fatalf("crash impacted no sessions: %+v", m)
+	}
+	if m.SessionsRecovered == 0 {
+		t.Fatalf("restart recovered nothing: %+v", m)
+	}
+	if m.NodeRejoins == 0 {
+		t.Fatalf("restart never cleared suspicion: suspects=%d rejoins=%d",
+			m.NodeSuspects, m.NodeRejoins)
+	}
+	// Recovery had to wait out the restart, not just the redirect delay.
+	if m.FailoverLatMax < 10*sim.Second {
+		t.Fatalf("recovery latency %v too short for a 20s restart", m.FailoverLatMax)
+	}
+}
+
+// crossRebuildCfg is the satellite scenario's base: a 2-node system with
+// cross-node mirroring, so a repaired disk's rebuild reads its healthy
+// copies from the *other* node.
+func crossRebuildCfg() core.Config {
+	cfg := core.DefaultConfig(8)
+	cfg.Nodes = 2
+	cfg.DisksPerNode = 2
+	cfg.VideosPerDisk = 1
+	cfg.Video.Length = sim.Minute
+	cfg.ServerMemBytes = 16 * core.MB
+	cfg.StartWindow = 10 * sim.Second
+	cfg.MeasureTime = 80 * sim.Second
+	cfg.StartupGrace = 5 * sim.Minute
+	cfg.ReplicateVideos = true
+	cfg.MirrorCrossNode = true
+	cfg.RequestTimeout = 2 * sim.Second
+	cfg.MaxRetries = 3
+	cfg.RetryBackoff = 50 * sim.Millisecond
+	// Slow enough that the rebuild is still in flight when the source
+	// node crashes, fast enough that the baseline finishes in-window.
+	cfg.Overload.RebuildRate = 4 * core.MB
+	return cfg
+}
+
+// A node crash that takes out the rebuild's source mid-rebuild: the
+// rebuilder parks (every copy read fails against the dead node's disks)
+// and the redundancy window stays open for the rest of the run, instead
+// of a bogus "window closed" with stale blocks still unrebuilt.
+func TestNodeCrashParksInProgressRebuild(t *testing.T) {
+	run := func(crashSource bool) core.Metrics {
+		s, err := core.NewSimulation(crossRebuildCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Disk 0 (node 0) fail-stops and repairs; its stale copies rebuild
+		// from disk 2 (node 1) under cross-node mirroring.
+		s.ScheduleDiskFailStop(0, sim.Time(30*sim.Second), 5*sim.Second)
+		if crashSource {
+			s.ScheduleNodeCrash(1, sim.Time(37*sim.Second), 0)
+		}
+		m, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Started {
+			t.Fatal("never started")
+		}
+		return m
+	}
+	base := run(false)
+	if base.RebuildWindows == 0 {
+		t.Fatalf("baseline rebuild never closed its window: %+v", base)
+	}
+	crashed := run(true)
+	if crashed.RebuildWindows != 0 {
+		t.Fatalf("rebuild claimed %d closed windows with its source node dead",
+			crashed.RebuildWindows)
+	}
+	if crashed.RebuiltBlocks >= base.RebuiltBlocks {
+		t.Fatalf("parked rebuild copied %d blocks, baseline %d",
+			crashed.RebuiltBlocks, base.RebuiltBlocks)
+	}
+}

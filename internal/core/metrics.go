@@ -73,6 +73,28 @@ type Metrics struct {
 	MTTRMax          sim.Duration
 	Recoveries       int64
 
+	// Failover aggregates (node crash → mirror redirection). A session is
+	// impacted when a timeout trips node suspicion while it plays; it is
+	// recovered once a first-attempt fetch of one of the dead node's
+	// primary blocks succeeds again (via a mirror or the restarted node),
+	// and lost otherwise (aborted by failover re-admission rejection, or
+	// still unresolved at session/run end). Impacted = Recovered + Lost
+	// after CloseSessionAccounting. FailoverLat* measure suspicion-to-
+	// recovery per session. Redirects count proactively re-resolved
+	// fetches; Readmits count failover-priority re-admission attempts,
+	// with the Admitted/Rejected pair their outcomes at the controller.
+	SessionsImpacted  int64
+	SessionsRecovered int64
+	SessionsLost      int64
+	FailoverLatAvg    sim.Duration
+	FailoverLatMax    sim.Duration
+	FailoverRedirects int64
+	FailoverReadmits  int64
+	FailoverAdmitted  int64
+	FailoverRejected  int64
+	NodeSuspects      int64 // suspicion episodes opened
+	NodeRejoins       int64 // suspicion episodes cleared
+
 	// Overload-control aggregates (internal/overload). Admission
 	// counters come from the admission controller; shed/restore and
 	// the limit floor from the capacity estimator; rebuild counters
@@ -93,6 +115,10 @@ type Metrics struct {
 	DegradedFrames     int64
 	ProtectedTerminals int
 	GlitchesProtected  int64
+	// DegradedBlocksProtected restricts DegradedBlocks to the protected
+	// terminals; shedding must never pick them, so it stays zero however
+	// hard the shed machinery works (the chaos-soak invariant).
+	DegradedBlocksProtected int64
 	RebuildWindows     int64 // completed rebuilds (closed redundancy windows)
 	RebuildWindowAvg   sim.Duration
 	RebuildWindowMax   sim.Duration
@@ -129,9 +155,17 @@ func (m Metrics) String() string {
 		fmt.Fprintf(&b, "faults: glitch causes underrun/diskfail/timeout = %d/%d/%d  nacks=%d retries=%d timeouts=%d lost=%d\n",
 			m.GlitchesUnderrun, m.GlitchesDiskFail, m.GlitchesTimeout,
 			m.Nacks, m.Retries, m.Timeouts, m.LostBlocks)
-		fmt.Fprintf(&b, "faults: disk failstops=%d abandoned=%d rejects=%d downtime=%v  node crashes=%d drops=%d  netdrop=%d  mttr avg/max = %v/%v\n",
+		fmt.Fprintf(&b, "faults: disk failstops=%d abandoned=%d rejects=%d downtime=%v  node crashes=%d drops=%d (req=%d reply=%d)  netdrop=%d  mttr avg/max = %v/%v\n",
 			m.DiskFailStops, m.DiskAbandoned, m.DiskRejects, m.DiskDownTime,
-			m.Nodes.Crashes, m.Nodes.Dropped, m.NetDropped, m.MTTRAvg, m.MTTRMax)
+			m.Nodes.Crashes, m.Nodes.Dropped, m.Nodes.DroppedReqs, m.Nodes.DroppedReplies,
+			m.NetDropped, m.MTTRAvg, m.MTTRMax)
+	}
+	if m.FailoverSeen() {
+		fmt.Fprintf(&b, "failover: impacted=%d recovered=%d lost=%d lat avg/max = %v/%v  redirects=%d readmits=%d (ok=%d rej=%d)  suspects=%d rejoins=%d\n",
+			m.SessionsImpacted, m.SessionsRecovered, m.SessionsLost,
+			m.FailoverLatAvg, m.FailoverLatMax,
+			m.FailoverRedirects, m.FailoverReadmits, m.FailoverAdmitted, m.FailoverRejected,
+			m.NodeSuspects, m.NodeRejoins)
 	}
 	if m.OverloadSeen() {
 		fmt.Fprintf(&b, "overload: admitted=%d waited=%d rejected=%d waitavg=%v limit=%d min=%d\n",
@@ -164,6 +198,12 @@ func (m Metrics) String() string {
 func (m Metrics) FaultsSeen() bool {
 	return m.DiskFailStops > 0 || m.Nodes.Crashes > 0 || m.NetDropped > 0 ||
 		m.Nacks > 0 || m.Retries > 0 || m.Timeouts > 0 || m.LostBlocks > 0
+}
+
+// FailoverSeen reports whether any node-suspicion or session-failover
+// activity occurred.
+func (m Metrics) FailoverSeen() bool {
+	return m.SessionsImpacted > 0 || m.NodeSuspects > 0 || m.FailoverRedirects > 0
 }
 
 // OverloadSeen reports whether the overload-control subsystem was

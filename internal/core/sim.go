@@ -35,6 +35,10 @@ type Simulation struct {
 	over *overload.Controller
 	reb  *overload.Rebuilder
 
+	// health is the shared node-suspicion tracker; nil unless failover
+	// timeouts are configured (SuspectThreshold > 0).
+	health *terminal.NodeHealth
+
 	startedCount int
 	measuring    bool
 	measureStart sim.Time
@@ -74,7 +78,11 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 			root.Derive("placement"))
 	}
 	if cfg.ReplicateVideos {
-		s.place.Mirror()
+		if cfg.MirrorCrossNode {
+			s.place.MirrorWith(layout.MirrorCrossNode)
+		} else {
+			s.place.Mirror()
+		}
 	}
 
 	s.net = network.New(s.k, cfg.NetParams)
@@ -101,6 +109,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 			srcs[d] = root.DeriveIndexed("disk", n*cfg.DisksPerNode+d)
 		}
 		s.nodes[n] = server.New(s.k, n, nodeCfg, s.net, s.place, srcs, cfg.StripePlayTime())
+		s.nodes[n].SetTrace(s.rec)
 		s.nodes[n].Pool().SetTrace(s.rec, n)
 		for _, d := range s.nodes[n].Disks() {
 			d.SetTrace(s.rec)
@@ -118,6 +127,11 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		}
 	}
 
+	if cfg.SuspectThreshold > 0 && cfg.RequestTimeout > 0 {
+		s.health = terminal.NewNodeHealth(s.k, cfg.Nodes, cfg.SuspectThreshold)
+		s.health.SetTrace(s.rec)
+	}
+
 	ov := cfg.Overload
 	if ov.AdmitLimit > 0 {
 		s.adm = admission.NewController(s.k, ov.AdmitLimit)
@@ -127,6 +141,7 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 			s.over = overload.NewController(s.k, ov, cfg.TotalDisks())
 			s.over.SetLimiter(s.adm)
 			s.over.SetTrace(s.rec)
+			s.over.SetRejoinWarmup(cfg.RejoinWarmup)
 			for g := 0; g < cfg.TotalDisks(); g++ {
 				g := g
 				s.diskByGlobal(g).SetObserver(func(slack sim.Duration, qlen int) {
@@ -148,6 +163,22 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 			g := g
 			s.diskByGlobal(g).SetRepairHook(func(downtime sim.Duration) {
 				s.reb.OnRepair(g, downtime)
+			})
+		}
+	}
+
+	if s.health != nil || s.over != nil {
+		// A restarted node clears its suspicion directly (redirected
+		// terminals stop sending it requests, so they would never observe
+		// the OK that normally clears it) and opens the overload
+		// controller's rejoin warm-up window.
+		for n, nd := range s.nodes {
+			n, nd := n, nd
+			nd.SetRestartHook(func(downtime sim.Duration) {
+				s.health.NoteRestart(n, downtime)
+				if s.over != nil {
+					s.over.NoteRejoin()
+				}
 			})
 		}
 	}
@@ -178,6 +209,8 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		},
 	}
 	tcfg.RetryJitter = cfg.RetryJitter
+	tcfg.Failover = cfg.Failover
+	tcfg.Health = s.health // nil is fine: every method is a nil-safe no-op
 	if s.adm != nil {
 		// Assigned only when non-nil: a typed-nil *Controller in the
 		// interface field would pass the != nil checks in the terminal.
@@ -275,9 +308,11 @@ func (s *Simulation) Run() (Metrics, error) {
 	m.MeasureEnd = s.k.Now()
 	m.Events = s.k.Events()
 
-	var seekLatSum, recoverySum sim.Duration
+	var seekLatSum, recoverySum, failoverLatSum sim.Duration
 	m.ProtectedTerminals = s.cfg.Overload.ProtectedCount(s.cfg.Terminals)
 	for i, t := range s.terms {
+		// Sessions still impacted when the window closes count as lost.
+		t.CloseSessionAccounting()
 		st := t.Stats()
 		m.Glitches += st.Glitches
 		if st.Glitches > 0 {
@@ -288,6 +323,9 @@ func (s *Simulation) Run() (Metrics, error) {
 		}
 		m.DegradedBlocks += st.DegradedBlocks
 		m.DegradedFrames += st.DegradedFrames
+		if i < m.ProtectedTerminals {
+			m.DegradedBlocksProtected += st.DegradedBlocks
+		}
 		m.BlocksServed += st.BlocksReceived
 		m.MoviesCompleted += st.MoviesCompleted
 		m.Seeks += st.Seeks
@@ -309,6 +347,15 @@ func (s *Simulation) Run() (Metrics, error) {
 		if st.RecoveryMax > m.MTTRMax {
 			m.MTTRMax = st.RecoveryMax
 		}
+		m.SessionsImpacted += st.SessionsImpacted
+		m.SessionsRecovered += st.SessionsRecovered
+		m.SessionsLost += st.SessionsLost
+		m.FailoverRedirects += st.FailoverRedirects
+		m.FailoverReadmits += st.FailoverReadmits
+		failoverLatSum += st.FailoverLatSum
+		if st.FailoverLatMax > m.FailoverLatMax {
+			m.FailoverLatMax = st.FailoverLatMax
+		}
 		m.RespTimeSumAdd(st)
 	}
 	if m.Seeks > 0 {
@@ -317,11 +364,18 @@ func (s *Simulation) Run() (Metrics, error) {
 	if m.Recoveries > 0 {
 		m.MTTRAvg = recoverySum / sim.Duration(m.Recoveries)
 	}
+	if m.SessionsRecovered > 0 {
+		m.FailoverLatAvg = failoverLatSum / sim.Duration(m.SessionsRecovered)
+	}
+	m.NodeSuspects = s.health.Suspects()
+	m.NodeRejoins = s.health.Rejoins()
 
 	if s.adm != nil {
 		m.Admitted = s.adm.Admitted
 		m.AdmWaited = s.adm.Waited
 		m.AdmRejected = s.adm.Rejected
+		m.FailoverAdmitted = s.adm.FailoverAdmitted
+		m.FailoverRejected = s.adm.FailoverRejected
 		if s.adm.Waited > 0 {
 			m.AdmWaitAvg = s.adm.WaitSum / sim.Duration(s.adm.Waited)
 		}
@@ -353,6 +407,8 @@ func (s *Simulation) Run() (Metrics, error) {
 		m.Nodes.DeadlineUps += ns.DeadlineUps
 		m.Nodes.Nacks += ns.Nacks
 		m.Nodes.Dropped += ns.Dropped
+		m.Nodes.DroppedReqs += ns.DroppedReqs
+		m.Nodes.DroppedReplies += ns.DroppedReplies
 		m.Nodes.Crashes += ns.Crashes
 		m.StaleNacks += ns.StaleNacks
 		ps := n.Pool().Stats()
@@ -470,6 +526,14 @@ func (s *Simulation) ScheduleDiskFault(diskGlobal int, at sim.Time, factor float
 	d := s.nodes[node].Disks()[local]
 	s.k.At(at, func() { d.InjectFault(factor, duration) })
 }
+
+// Terminals exposes the simulation's terminals so invariant tests (the
+// chaos soak) can audit per-terminal state after a run.
+func (s *Simulation) Terminals() []*terminal.Terminal { return s.terms }
+
+// Admission exposes the admission controller (nil when ungated), for the
+// same audits: slot conservation against the terminals holding slots.
+func (s *Simulation) Admission() *admission.Controller { return s.adm }
 
 // PiggybackStats reports (batches, riders) after a piggybacked run.
 func (s *Simulation) PiggybackStats() (batches, riders int64) {

@@ -44,7 +44,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table2", "table3", "piggyback",
 		"ablation-rt", "ablation-prefetch", "ablation-cache",
 		"ablation-sched", "ablation-zoned", "admission", "vcr",
-		"faults", "overload",
+		"faults", "overload", "failover",
 	}
 	reg := Registry()
 	for _, id := range want {
@@ -170,6 +170,39 @@ func TestScaleupDataShape(t *testing.T) {
 		if len(r.Series) == 0 {
 			t.Fatalf("%s: empty", r.ID)
 		}
+	}
+}
+
+func TestFailoverExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r, err := Failover(Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(r.Series))
+	}
+	// Cross-node mirroring with failover recovers essentially every
+	// impacted session at every restart time, including never.
+	for _, p := range r.Series[0].Points {
+		if p.Y < 95 {
+			t.Fatalf("cross-node+failover recovered only %.1f%% at restart=%vs", p.Y, p.X)
+		}
+	}
+	// Without failover and without a restart, essentially nothing
+	// recovers. (Not exactly zero: the retry storm against the dead node
+	// can overload a live node past the watchdog's timeout, and sessions
+	// "impacted" by that false suspicion recover once the live node
+	// drains. The dead node's own sessions stay lost.)
+	noFailover := r.Series[1].Points
+	if noFailover[0].X != 0 || noFailover[0].Y >= 5 {
+		t.Fatalf("no-failover never-restart point = %+v, want ~0%% recovered", noFailover[0])
+	}
+	// A restart must help the no-failover variant: later points recover.
+	if noFailover[len(noFailover)-1].Y <= 0 {
+		t.Fatalf("no-failover with restart recovered nothing: %+v", noFailover)
 	}
 }
 

@@ -42,10 +42,10 @@ type Placement struct {
 	videoDisk  []int
 	videoStart []int64
 
-	// Mirroring (Mirror): replicas is 1 (no redundancy) or 2. The replica
-	// of a block lives on the next disk (declustered chained mirroring),
-	// so one dead disk leaves every block readable somewhere else.
+	// Mirroring (Mirror): replicas is 1 (no redundancy) or 2. policy
+	// selects which disk holds each block's replica (see MirrorPolicy).
 	replicas int
+	policy   MirrorPolicy
 
 	// Non-striped mirroring: primary bytes stored per disk, so replicas
 	// can be stacked above each disk's primary data.
@@ -200,27 +200,101 @@ func (p *Placement) Locate(v, b int) Address {
 	}
 }
 
-// Mirror adds a second, declustered copy of every video: block (v, b)'s
-// replica lives on the disk after its primary ((diskGlobal+1) mod
-// totalDisks), so the read load of a dead disk spreads over its
-// neighbor rather than concentrating on a single mirror drive. Striped
-// replicas occupy a mirror region stacked above all primary regions;
-// non-striped replicas are stacked above each disk's primary videos.
-// Call before sizing disks: mirroring doubles MaxDiskBytes.
-func (p *Placement) Mirror() {
+// MirrorPolicy selects where a block's replica lives relative to its
+// primary. Both policies are bijections on disks, so replica data
+// stacks cleanly and exactly one source disk mirrors onto each target.
+type MirrorPolicy int
+
+const (
+	// MirrorChainedDisk is classic chained declustering: the replica
+	// lives on the next global disk ((diskGlobal+1) mod totalDisks).
+	// With several disks per node most replicas stay on the primary's
+	// own node, so a whole-node crash can take out both copies.
+	MirrorChainedDisk MirrorPolicy = iota
+
+	// MirrorCrossNode keeps the replica in the same local disk slot but
+	// rotates it onto another node, guaranteeing every replica is
+	// off-node. Striped placements interleave the rotation per stripe row
+	// (interleaved declustering): consecutive rows of one primary disk
+	// mirror onto different surviving nodes, so a dead disk's read load
+	// spreads across every survivor at 1/(nodes-1) extra each instead of
+	// doubling one mirror disk into a hotspot. Non-striped placements
+	// keep a fixed disk-to-disk map (disk i of node n mirrors onto disk i
+	// of node (n + 1 + i mod (nodes-1)) mod nodes) because whole-video
+	// replica regions must stack contiguously. Needs at least two nodes.
+	MirrorCrossNode
+)
+
+// Mirror adds a second, declustered copy of every video under the
+// chained-disk policy (see MirrorWith). Striped replicas occupy a
+// mirror region stacked above all primary regions; non-striped replicas
+// are stacked above each disk's primary videos. Call before sizing
+// disks: mirroring doubles MaxDiskBytes.
+func (p *Placement) Mirror() { p.MirrorWith(MirrorChainedDisk) }
+
+// MirrorWith adds a second copy of every video under the given replica
+// placement policy. Calling it again is a no-op (the first policy wins).
+func (p *Placement) MirrorWith(pol MirrorPolicy) {
 	if p.totalDisks < 2 {
 		panic("layout: mirroring needs at least two disks")
+	}
+	if pol == MirrorCrossNode && p.nodes < 2 {
+		panic("layout: cross-node mirroring needs at least two nodes")
 	}
 	if p.replicas == 2 {
 		return
 	}
 	p.replicas = 2
+	p.policy = pol
 	if !p.striped {
 		p.diskPrimary = make([]int64, p.totalDisks)
 		for v, sz := range p.videoSizes {
 			p.diskPrimary[p.videoDisk[v]] += sz
 		}
 	}
+}
+
+// Policy returns the active mirror placement policy (meaningful only
+// when Replicas() == 2).
+func (p *Placement) Policy() MirrorPolicy { return p.policy }
+
+// mirrorDisk maps a primary disk to the disk holding its replicas
+// (non-striped placements; striped placements use mirrorDiskAt).
+func (p *Placement) mirrorDisk(d int) int {
+	if p.policy == MirrorCrossNode {
+		n, i := d/p.disksPerNode, d%p.disksPerNode
+		shift := 1 + i%(p.nodes-1)
+		return ((n+shift)%p.nodes)*p.disksPerNode + i
+	}
+	return (d + 1) % p.totalDisks
+}
+
+// mirrorDiskAt maps a primary disk to the disk holding its replica of
+// stripe row `stripeIdx`. Under MirrorCrossNode the target node is
+// interleaved per row: the replica stays in the primary's local disk
+// slot i but the node shift cycles through 1..nodes-1 as rows advance,
+// so the rows of one dead disk redirect to every surviving node in turn.
+// Within one row the shift is constant per slot (it depends only on
+// i+stripeIdx), so row targets are a permutation of the disks — each
+// disk receives exactly one replica per row, which keeps the mirror
+// region's (video, row) offset slot collision-free.
+func (p *Placement) mirrorDiskAt(d, stripeIdx int) int {
+	if p.policy == MirrorCrossNode {
+		n, i := d/p.disksPerNode, d%p.disksPerNode
+		shift := 1 + (i+stripeIdx)%(p.nodes-1)
+		return ((n+shift)%p.nodes)*p.disksPerNode + i
+	}
+	return (d + 1) % p.totalDisks
+}
+
+// mirrorSource inverts mirrorDisk: the disk whose replicas live on d.
+func (p *Placement) mirrorSource(d int) int {
+	if p.policy == MirrorCrossNode {
+		n, i := d/p.disksPerNode, d%p.disksPerNode
+		shift := 1 + i%(p.nodes-1)
+		return ((n-shift+p.nodes)%p.nodes)*p.disksPerNode + i
+	}
+	return (d - 1 + p.totalDisks) % p.totalDisks
 }
 
 // Replicas returns the number of stored copies of every block (1 or 2).
@@ -241,7 +315,12 @@ func (p *Placement) LocateCopy(v, b, copy int) Address {
 		panic(fmt.Sprintf("layout: copy %d out of range", copy))
 	}
 	primary := p.Locate(v, b)
-	d := (primary.DiskGlobal + 1) % p.totalDisks
+	var d int
+	if p.striped {
+		d = p.mirrorDiskAt(primary.DiskGlobal, b/p.totalDisks)
+	} else {
+		d = p.mirrorDisk(primary.DiskGlobal)
+	}
 	addr := Address{
 		Node:       d / p.disksPerNode,
 		Disk:       d % p.disksPerNode,
@@ -249,14 +328,20 @@ func (p *Placement) LocateCopy(v, b, copy int) Address {
 		Size:       primary.Size,
 	}
 	if p.striped {
-		// The mirror region mirrors the primary region layout, shifted
-		// one disk over and stacked above all primary regions.
+		// The mirror region mirrors the primary region layout, relocated
+		// by the policy's per-row disk map and stacked above all primary
+		// regions. The offset depends only on (video, stripe index):
+		// same-row blocks sit on distinct primary disks, and mirrorDiskAt
+		// permutes each row's disks, so their replicas land on distinct
+		// disks too — every disk uses each (video, row) slot at most once.
 		stripeIdx := b / p.totalDisks
 		addr.Offset = int64(len(p.videoSizes))*p.regionBytes +
 			int64(v)*p.regionBytes + int64(stripeIdx)*p.blockSize
 	} else {
-		// Replicas of disk d-1's videos stack above disk d's primaries in
-		// the same order, so the primary's start offset is reused.
+		// Exactly one source disk's videos mirror onto disk d; their
+		// replicas stack above d's primaries in the same disjoint byte
+		// ranges they occupy at home, so the primary's start offset is
+		// reused.
 		addr.Offset = p.diskPrimary[d] + p.videoStart[v] + int64(b)*p.blockSize
 	}
 	return addr
@@ -290,7 +375,7 @@ func (p *Placement) MaxDiskBytes() int64 {
 	var max int64
 	for d, t := range top {
 		if p.replicas == 2 {
-			t += top[(d-1+p.totalDisks)%p.totalDisks]
+			t += top[p.mirrorSource(d)]
 		}
 		if t > max {
 			max = t

@@ -206,6 +206,136 @@ func TestLocateRoundTripProperty(t *testing.T) {
 	}
 }
 
+func TestCrossNodeMirrorAlwaysOffNode(t *testing.T) {
+	shapes := []struct{ nodes, disks int }{{2, 1}, {2, 2}, {3, 2}, {4, 4}, {5, 3}}
+	for _, sh := range shapes {
+		p := NewStriped(sizes(3, int64(sh.nodes*sh.disks)*8*512), 512, sh.nodes, sh.disks)
+		p.MirrorWith(MirrorCrossNode)
+		for v := 0; v < 3; v++ {
+			for b := 0; b < p.NumBlocks(v); b++ {
+				pri := p.LocateCopy(v, b, 0)
+				rep := p.LocateCopy(v, b, 1)
+				if rep.Node == pri.Node {
+					t.Fatalf("%d nodes x %d disks: video %d block %d replica on primary's node %d",
+						sh.nodes, sh.disks, v, b, pri.Node)
+				}
+			}
+		}
+	}
+}
+
+func TestCrossNodeMirrorInterleavesRows(t *testing.T) {
+	// Interleaved declustering: sweeping the stripe rows of one primary
+	// disk, the replica target must cycle through every other node, so a
+	// dead disk's redirected read load spreads across all survivors
+	// instead of doubling a single mirror disk.
+	p := NewStriped(sizes(1, 4*4*8*512), 512, 4, 4)
+	p.MirrorWith(MirrorCrossNode)
+	targets := map[int]bool{}
+	for row := 0; row < 8; row++ {
+		b := row * 16 // row-th block on disk 0 (node 0, slot 0)
+		if pri := p.Locate(0, b); pri.DiskGlobal != 0 {
+			t.Fatalf("row %d: block %d not on disk 0 (got %d)", row, b, pri.DiskGlobal)
+		}
+		rep := p.LocateCopy(0, b, 1)
+		if rep.Node == 0 {
+			t.Fatalf("row %d replica on primary's node", row)
+		}
+		if rep.Disk != 0 {
+			t.Fatalf("row %d replica left local slot 0 (disk %d)", row, rep.Disk)
+		}
+		targets[rep.Node] = true
+	}
+	if len(targets) != 3 {
+		t.Fatalf("replica targets span %d nodes, want all 3 survivors: %v", len(targets), targets)
+	}
+}
+
+func TestMirrorDiskBijection(t *testing.T) {
+	shapes := []struct{ nodes, disks int }{{2, 2}, {3, 2}, {4, 4}, {5, 3}}
+	for _, pol := range []MirrorPolicy{MirrorChainedDisk, MirrorCrossNode} {
+		for _, sh := range shapes {
+			p := NewStriped(sizes(1, 512), 512, sh.nodes, sh.disks)
+			p.MirrorWith(pol)
+			seen := make([]bool, p.TotalDisks())
+			for d := 0; d < p.TotalDisks(); d++ {
+				m := p.mirrorDisk(d)
+				if m < 0 || m >= p.TotalDisks() || m == d {
+					t.Fatalf("policy %d shape %dx%d: mirrorDisk(%d) = %d", pol, sh.nodes, sh.disks, d, m)
+				}
+				if seen[m] {
+					t.Fatalf("policy %d shape %dx%d: two disks mirror onto %d", pol, sh.nodes, sh.disks, m)
+				}
+				seen[m] = true
+				if p.mirrorSource(m) != d {
+					t.Fatalf("policy %d shape %dx%d: mirrorSource(mirrorDisk(%d)) = %d",
+						pol, sh.nodes, sh.disks, d, p.mirrorSource(m))
+				}
+			}
+		}
+	}
+}
+
+func TestCrossNodeReplicasDoNotOverlap(t *testing.T) {
+	// Striped: all copies of all blocks of all videos must occupy
+	// disjoint (disk, byte-range) spans under the cross-node policy.
+	p := NewStriped(sizes(3, 40*512), 512, 3, 2)
+	p.MirrorWith(MirrorCrossNode)
+	type span struct{ lo, hi int64 }
+	occupied := map[int][]span{}
+	place := func(a Address, what string) {
+		for _, s := range occupied[a.DiskGlobal] {
+			if a.Offset < s.hi && a.Offset+a.Size > s.lo {
+				t.Fatalf("%s overlaps on disk %d at offset %d", what, a.DiskGlobal, a.Offset)
+			}
+		}
+		occupied[a.DiskGlobal] = append(occupied[a.DiskGlobal], span{a.Offset, a.Offset + a.Size})
+	}
+	for v := 0; v < 3; v++ {
+		for b := 0; b < p.NumBlocks(v); b++ {
+			place(p.LocateCopy(v, b, 0), "primary")
+			place(p.LocateCopy(v, b, 1), "replica")
+		}
+	}
+	if max := p.MaxDiskBytes(); max != 2*3*p.regionBytes {
+		t.Fatalf("striped mirrored MaxDiskBytes = %d, want %d", max, 2*3*p.regionBytes)
+	}
+
+	// Non-striped: same invariant, and MaxDiskBytes must cover every span.
+	np := NewNonStriped(sizes(12, 20*512), 512, 3, 2, rng.New(7))
+	np.MirrorWith(MirrorCrossNode)
+	occupied = map[int][]span{}
+	var top int64
+	for v := 0; v < 12; v++ {
+		for b := 0; b < np.NumBlocks(v); b++ {
+			pri, rep := np.LocateCopy(v, b, 0), np.LocateCopy(v, b, 1)
+			place(pri, "primary")
+			place(rep, "replica")
+			if pri.Node == rep.Node {
+				t.Fatalf("video %d block %d replica on primary's node", v, b)
+			}
+			if end := rep.Offset + rep.Size; end > top {
+				top = end
+			}
+		}
+	}
+	if max := np.MaxDiskBytes(); max < top {
+		t.Fatalf("non-striped MaxDiskBytes = %d < highest replica end %d", max, top)
+	}
+}
+
+func TestMirrorWithFirstPolicyWins(t *testing.T) {
+	p := NewStriped(sizes(1, 16*512), 512, 2, 2)
+	p.MirrorWith(MirrorCrossNode)
+	p.Mirror() // no-op: already mirrored
+	if p.Policy() != MirrorCrossNode {
+		t.Fatalf("policy = %d, want MirrorCrossNode", p.Policy())
+	}
+	if p.Replicas() != 2 {
+		t.Fatalf("replicas = %d, want 2", p.Replicas())
+	}
+}
+
 func TestMaxDiskBytes(t *testing.T) {
 	p := NewStriped(sizes(4, 16*512), 512, 2, 2)
 	// Each video: 16 blocks over 4 disks = 4 blocks = 2048 bytes region.

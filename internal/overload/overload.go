@@ -210,6 +210,15 @@ type Controller struct {
 	degraded int // streams currently shed, from the top of the id range
 	running  bool
 	stats    Stats
+
+	// Rejoin warm-up: after a crashed node restarts, raising the
+	// admission limit is suppressed until warmupUntil so the rejoining
+	// node (serving cold caches and a stale-mirror rebuild) is not
+	// instantly re-saturated by a wave of new admissions. Shed-stream
+	// restores are unaffected — they return capacity to streams already
+	// admitted.
+	warmup      sim.Duration
+	warmupUntil sim.Time
 }
 
 // NewController builds an estimator over disks total disks. The
@@ -256,6 +265,22 @@ func (c *Controller) Start() {
 	}
 	c.qlen = 0
 	c.k.After(c.cfg.Interval, c.tick)
+}
+
+// SetRejoinWarmup sets how long after a node rejoin the estimator
+// holds the admission limit down (0 = no warm-up).
+func (c *Controller) SetRejoinWarmup(d sim.Duration) { c.warmup = d }
+
+// NoteRejoin records a node restart (wired from the server's restart
+// hook), opening the warm-up window during which relax() will not
+// raise the admission limit.
+func (c *Controller) NoteRejoin() {
+	if c.warmup <= 0 {
+		return
+	}
+	if until := c.k.Now().Add(c.warmup); until > c.warmupUntil {
+		c.warmupUntil = until
+	}
 }
 
 // ObserveDispatch feeds one demand-read dispatch: the deadline slack
@@ -354,6 +379,9 @@ func (c *Controller) relax(worst sim.Duration) {
 		}
 	}
 	if c.cfg.Adaptive && c.lim != nil {
+		if c.k.Now() < c.warmupUntil {
+			return // rejoin warm-up: hold the limit down
+		}
 		cur := c.lim.Limit()
 		next := cur + max(1, c.cfg.AdmitLimit/16)
 		if next > c.cfg.AdmitLimit {

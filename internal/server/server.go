@@ -23,6 +23,7 @@ import (
 	"spiffi/internal/proto"
 	"spiffi/internal/rng"
 	"spiffi/internal/sim"
+	"spiffi/internal/trace"
 )
 
 // Config carries per-node configuration.
@@ -49,8 +50,14 @@ type Stats struct {
 
 	// Degraded-mode counters (fault injection).
 	Nacks   int64 // NACK replies for reads on fail-stopped disks
-	Dropped int64 // requests/replies discarded while the node was down
+	Dropped int64 // requests+replies discarded while the node was down
 	Crashes int64 // crash events applied to this node
+
+	// Silent-drop breakdown of Dropped: a crashed node is fail-stop
+	// silent, so without these a permanent crash is indistinguishable
+	// from network loss in the summary output.
+	DroppedReqs    int64 // incoming requests dropped on the floor
+	DroppedReplies int64 // outbound replies suppressed
 
 	// StaleNacks counts NACKs for block copies awaiting mirror rebuild
 	// on a repaired disk (a subset of Nacks).
@@ -85,6 +92,14 @@ type Node struct {
 	// already in flight keep running internally but produce no output.
 	down      bool
 	restartAt sim.Time
+	downSince sim.Time
+
+	// restartHook, when set, fires as the node comes back up with the
+	// outage duration (wired by the assembly to the health tracker and
+	// the overload controller's rejoin warm-up).
+	restartHook func(downtime sim.Duration)
+
+	rec *trace.Recorder // nil unless tracing is enabled
 
 	// stale, when set, marks block copies awaiting mirror rebuild on a
 	// repaired disk: demand reads NACK (unless buffered) and prefetches
@@ -167,6 +182,14 @@ func (n *Node) Disks() []*disk.Disk { return n.disks }
 // Stats returns a copy of the node counters.
 func (n *Node) Stats() Stats { return n.stats }
 
+// SetTrace attaches a trace recorder (nil is fine: emits become
+// no-ops).
+func (n *Node) SetTrace(rec *trace.Recorder) { n.rec = rec }
+
+// SetRestartHook wires a callback fired when a crashed node comes back
+// up, with the outage duration (nil = none).
+func (n *Node) SetRestartHook(fn func(downtime sim.Duration)) { n.restartHook = fn }
+
 // ResetStats restarts the measurement window on the node and everything
 // it owns.
 func (n *Node) ResetStats() {
@@ -184,6 +207,8 @@ func (n *Node) ResetStats() {
 func (n *Node) DeliverRequest(req *proto.BlockRequest) {
 	if n.down {
 		n.stats.Dropped++
+		n.stats.DroppedReqs++
+		n.rec.NodeDrop(req.Terminal, n.id, false, n.stats.Dropped)
 		return
 	}
 	n.k.Spawn(fmt.Sprintf("node-%d-handler", n.id), func(p *sim.Proc) {
@@ -265,6 +290,8 @@ func (n *Node) nack(p *sim.Proc, req *proto.BlockRequest) {
 func (n *Node) reply(req *proto.BlockRequest, bytes int64) {
 	if n.down {
 		n.stats.Dropped++
+		n.stats.DroppedReplies++
+		n.rec.NodeDrop(req.Terminal, n.id, true, n.stats.Dropped)
 		return
 	}
 	n.net.Send(bytes, func() { req.Deliver(req) })
@@ -305,6 +332,7 @@ func (n *Node) Crash(restart sim.Duration) {
 	if !n.down {
 		n.down = true
 		n.restartAt = 0
+		n.downSince = now
 	}
 	if restart <= 0 {
 		n.restartAt = sim.TimeInfinity
@@ -330,6 +358,9 @@ func (n *Node) maybeRestart(at sim.Time) {
 		return
 	}
 	n.down = false
+	if n.restartHook != nil {
+		n.restartHook(at.Sub(n.downSince))
+	}
 }
 
 // Down reports whether the node is currently crashed.
@@ -381,6 +412,12 @@ func (n *Node) triggerPrefetch(req *proto.BlockRequest, addr layout.Address) {
 	}
 	next, ok := n.place.NextBlockOnSameDisk(req.Video, req.Block)
 	if !ok {
+		return
+	}
+	if n.place.Locate(req.Video, next).Node != n.id {
+		// This request was served from a mirror copy: the video's primary
+		// run continues on another node, so there is nothing local worth
+		// prefetching (the worker reads primary addresses only).
 		return
 	}
 	id := bufferpool.PageID{Video: req.Video, Block: next}

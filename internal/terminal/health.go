@@ -1,0 +1,118 @@
+package terminal
+
+import (
+	"spiffi/internal/sim"
+	"spiffi/internal/trace"
+)
+
+// NodeHealth is the shared per-node suspicion tracker behind node
+// failover. Crashed nodes are fail-stop silent — they NACK nothing —
+// so the only crash signal terminals get is the request-timeout
+// watchdog. Every timeout against a node bumps its consecutive-timeout
+// count; at Threshold the node is marked suspect and terminals with
+// failover enabled re-resolve its blocks to mirror copies. Any reply
+// from the node (data or NACK — both prove liveness) clears the count,
+// as does an observed restart: terminals avoiding a suspect node stop
+// talking to it, so without the restart hook a recovered node would
+// stay suspect forever.
+//
+// One tracker is shared by all terminals of a simulation, so the first
+// terminal to trip the threshold warns the rest. All methods run in
+// kernel context (single-threaded); updates are pure counter state and
+// trace emits — no events are scheduled and no randomness is drawn, so
+// an enabled-but-untripped tracker leaves the event stream untouched.
+// A nil *NodeHealth is valid and inert.
+type NodeHealth struct {
+	k         *sim.Kernel
+	rec       *trace.Recorder
+	threshold int
+	consec    []int      // consecutive timeouts per node, any terminal
+	suspect   []bool     // currently suspected down
+	suspectAt []sim.Time // when suspicion started (for rejoin downtime)
+
+	suspects int64 // suspicion episodes opened
+	rejoins  int64 // suspicion episodes cleared
+}
+
+// NewNodeHealth creates a tracker for the given node count. threshold
+// is the consecutive-timeout count at which a node becomes suspect
+// (minimum 1).
+func NewNodeHealth(k *sim.Kernel, nodes, threshold int) *NodeHealth {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &NodeHealth{
+		k:         k,
+		threshold: threshold,
+		consec:    make([]int, nodes),
+		suspect:   make([]bool, nodes),
+		suspectAt: make([]sim.Time, nodes),
+	}
+}
+
+// SetTrace attaches a trace recorder (nil is fine).
+func (h *NodeHealth) SetTrace(rec *trace.Recorder) { h.rec = rec }
+
+// Suspect reports whether the node is currently suspected down.
+func (h *NodeHealth) Suspect(node int) bool { return h != nil && h.suspect[node] }
+
+// ReportTimeout records a request timeout against the node, observed by
+// the given terminal, possibly opening a suspicion episode.
+func (h *NodeHealth) ReportTimeout(terminal, node int) {
+	if h == nil {
+		return
+	}
+	h.consec[node]++
+	if !h.suspect[node] && h.consec[node] >= h.threshold {
+		h.suspect[node] = true
+		h.suspectAt[node] = h.k.Now()
+		h.suspects++
+		h.rec.NodeSuspect(terminal, node, h.consec[node])
+	}
+}
+
+// ReportOK records any reply from the node — data or NACK, both prove
+// the node is alive — clearing its timeout count and any suspicion.
+func (h *NodeHealth) ReportOK(terminal, node int) {
+	if h == nil || (h.consec[node] == 0 && !h.suspect[node]) {
+		return
+	}
+	h.consec[node] = 0
+	if h.suspect[node] {
+		h.clear(terminal, node, h.k.Now().Sub(h.suspectAt[node]))
+	}
+}
+
+// NoteRestart records an observed node restart (wired from the server's
+// restart hook), clearing suspicion with the node's true downtime.
+func (h *NodeHealth) NoteRestart(node int, downtime sim.Duration) {
+	if h == nil {
+		return
+	}
+	h.consec[node] = 0
+	if h.suspect[node] {
+		h.clear(-1, node, downtime)
+	}
+}
+
+func (h *NodeHealth) clear(terminal, node int, downtime sim.Duration) {
+	h.suspect[node] = false
+	h.rejoins++
+	h.rec.NodeRejoin(terminal, node, downtime)
+}
+
+// Suspects returns the number of suspicion episodes opened.
+func (h *NodeHealth) Suspects() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.suspects
+}
+
+// Rejoins returns the number of suspicion episodes cleared.
+func (h *NodeHealth) Rejoins() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.rejoins
+}

@@ -24,6 +24,14 @@ type pendingReq struct {
 	size  int64
 	tries int // attempts issued so far (1 = the original)
 	gen   int // bumped on every state change to void stale timers
+	node  int // node the current attempt was sent to (health reporting)
+
+	// redirected marks an attempt the failover policy deliberately sent
+	// to a mirror because the block's primary node is suspect — proof of
+	// service continuing around the dead node, which the session-recovery
+	// accounting honors alongside clean first attempts. Blind retry
+	// rotation (failover disabled) never sets it.
+	redirected bool
 }
 
 // glitchCause labels why a block was abandoned.
@@ -43,6 +51,14 @@ func (t *Terminal) armTimeout(pr *pendingReq) {
 			return // answered, abandoned, or superseded meanwhile
 		}
 		t.stats.Timeouts++
+		if t.cfg.Health != nil {
+			// The watchdog is the only crash signal: a fail-stop node
+			// drops requests silently, so NACK handling never sees it.
+			t.cfg.Health.ReportTimeout(t.id, pr.node)
+			if t.cfg.Health.Suspect(pr.node) {
+				t.noteImpact(pr.node)
+			}
+		}
 		t.retryOrGiveUp(pr, causeTimeout)
 	})
 }
@@ -93,15 +109,40 @@ func (t *Terminal) backoffFor(tries int) sim.Duration {
 	return backoff
 }
 
+// noteImpact records this session as impacted by the given suspect
+// node (once per episode) and, with failover enabled, queues the
+// failover-priority re-admission on the fetcher.
+func (t *Terminal) noteImpact(node int) {
+	if t.impactNode >= 0 || t.video == nil {
+		return
+	}
+	t.impactNode = node
+	t.impactAt = t.k.Now()
+	t.stats.SessionsImpacted++
+	if t.cfg.Failover && t.cfg.Admission != nil {
+		t.needReadmit = true
+		t.wakeFetcher()
+	}
+}
+
 // resend issues the next attempt for the block, rotating to the replica
 // copy (when the layout stores one) so a dead primary disk is routed
-// around rather than hammered.
+// around rather than hammered. With failover enabled the rotation is
+// overridden to prefer a copy on a non-suspect node.
 func (t *Terminal) resend(pr *pendingReq) {
 	pr.tries++
 	t.stats.Retries++
 	attempt := pr.tries - 1 // 0-based
 	copy := attempt % t.place.Replicas()
+	if t.cfg.Failover && t.place.Replicas() > 1 &&
+		t.cfg.Health.Suspect(t.place.LocateCopy(pr.vid, pr.block, copy).Node) {
+		if alt := 1 - copy; !t.cfg.Health.Suspect(t.place.LocateCopy(pr.vid, pr.block, alt).Node) {
+			copy = alt
+		}
+	}
 	addr := t.place.LocateCopy(pr.vid, pr.block, copy)
+	pr.redirected = t.cfg.Failover && copy != 0 &&
+		t.cfg.Health.Suspect(t.place.Locate(pr.vid, pr.block).Node)
 	req := &proto.BlockRequest{
 		Video:    pr.vid,
 		Block:    pr.block,
@@ -114,6 +155,7 @@ func (t *Terminal) resend(pr *pendingReq) {
 		Issued:   t.k.Now(),
 	}
 	pr.req = req
+	pr.node = addr.Node
 	t.send(addr.Node, req)
 	t.armTimeout(pr)
 }

@@ -255,6 +255,10 @@ func (g *rejectingGate) Admit(p *sim.Proc, terminal int) bool {
 	return true
 }
 
+func (g *rejectingGate) AdmitFailover(p *sim.Proc, terminal int) bool {
+	return g.Admit(p, terminal)
+}
+
 func (g *rejectingGate) Release(terminal int) { g.releases++ }
 
 // A rejected terminal backs off (base delay + derived jitter) and asks

@@ -38,9 +38,13 @@ type PauseConfig struct {
 // AdmissionGate is the admission-control surface a terminal sees
 // (implemented by admission.Controller). Admit blocks until a stream
 // slot is held (true) or patience expires (false, the NACK path);
-// Release returns the slot at movie end.
+// Release returns the slot at movie end. AdmitFailover is the
+// failover-priority path: a session migrating off a crashed node
+// re-admits ahead of new arrivals, so survivors' spare capacity goes to
+// keeping running sessions alive before starting fresh ones.
 type AdmissionGate interface {
 	Admit(p *sim.Proc, terminal int) bool
+	AdmitFailover(p *sim.Proc, terminal int) bool
 	Release(terminal int)
 }
 
@@ -107,6 +111,20 @@ type Config struct {
 	// streams hit the same dead disk or restarted node. Zero (the
 	// default) draws nothing, keeping scripted retry timing exact.
 	RetryJitter sim.Duration
+
+	// Health, when non-nil, is the simulation-wide node suspicion
+	// tracker: the terminal reports request timeouts and replies to it,
+	// and (with Failover) consults it when resolving block addresses.
+	// Requires RequestTimeout > 0 to ever observe a timeout.
+	Health *NodeHealth
+
+	// Failover enables session continuity across node crashes: blocks
+	// whose primary lives on a suspect node are proactively resolved to
+	// their mirror copy, retries prefer copies on non-suspect nodes, and
+	// an impacted session re-admits through the failover-priority path.
+	// Off (the default), Health still tracks suspicion and sessions are
+	// accounted lost — the experiment's comparison baseline.
+	Failover bool
 }
 
 // Stats aggregates one terminal's counters.
@@ -149,6 +167,22 @@ type Stats struct {
 	AdmRejects     int64
 	DegradedBlocks int64
 	DegradedFrames int64
+
+	// Failover session accounting (lifetime, not window-reset: a crash
+	// may straddle the measurement boundary). A session is "impacted"
+	// when one of its request timeouts finds the target node suspect;
+	// it is "recovered" when a later first-attempt read of a block whose
+	// primary lives on the impacted node succeeds (the session streams
+	// on without the retry path), and "lost" if it ends — or the run
+	// ends — still unresolved. Impacted == Recovered + Lost once
+	// CloseSessionAccounting has run.
+	SessionsImpacted  int64
+	SessionsRecovered int64
+	SessionsLost      int64
+	FailoverLatSum    sim.Duration // impact-to-recovery latency accumulation
+	FailoverLatMax    sim.Duration
+	FailoverRedirects int64 // blocks proactively resolved to the mirror copy
+	FailoverReadmits  int64 // failover-priority re-admissions performed
 }
 
 // Terminal is one subscriber set-top unit.
@@ -188,6 +222,13 @@ type Terminal struct {
 	// replies from superseded attempts are stale-dropped.
 	pending  map[int]*pendingReq
 	glitchAt sim.Time // when the in-progress glitch stalled display (MTTR)
+
+	// --- failover session state ---
+	holdsSlot   bool     // an admission slot is currently held
+	needReadmit bool     // impacted with Failover: re-admit at fetcher's next step
+	sessAborted bool     // failover re-admission rejected: drain and end the session
+	impactNode  int      // node whose suspicion impacted this session (-1 = none)
+	impactAt    sim.Time // when the impaction was noted
 
 	playing        bool
 	displayStart   sim.Time // frame f displays at displayStart + f*period
@@ -248,6 +289,7 @@ func New(
 		movieChange: sim.NewEvent(k),
 		pending:     make(map[int]*pendingReq),
 		jit:         src.Derive("jitter"),
+		impactNode:  -1,
 	}
 	return t
 }
@@ -303,6 +345,13 @@ func (t *Terminal) ResetWindowStats() {
 // movie (the simulator's warm-up gate, §6).
 func (t *Terminal) Started() bool { return t.started }
 
+// HoldsSlot reports whether the terminal currently holds an admission
+// slot (invariant-checking hook for the chaos harness).
+func (t *Terminal) HoldsSlot() bool { return t.holdsSlot }
+
+// Outstanding returns requested-but-unresolved bytes (invariant hook).
+func (t *Terminal) Outstanding() int64 { return t.outstanding }
+
 // BufferedBytes returns bytes held in terminal memory right now.
 func (t *Terminal) BufferedBytes() int64 {
 	return t.frontierBytes - t.video.BytesBeforeFrame(t.consumedFrames) + t.oooBytes
@@ -335,12 +384,30 @@ func (t *Terminal) player(p *sim.Proc) {
 			t.seekToRandomPosition()
 		}
 		t.playMovie(p)
-		if t.cfg.Admission != nil {
+		if t.cfg.Admission != nil && t.holdsSlot {
 			t.cfg.Admission.Release(t.id)
 		}
-		t.stats.MoviesCompleted++
+		t.holdsSlot = false
+		t.resolveSessionEnd()
+		if !t.sessAborted {
+			t.stats.MoviesCompleted++
+		}
 	}
 }
+
+// resolveSessionEnd closes this session's failover accounting: an
+// impaction still unresolved when the movie ends counts as lost.
+func (t *Terminal) resolveSessionEnd() {
+	if t.impactNode >= 0 {
+		t.stats.SessionsLost++
+		t.impactNode = -1
+	}
+}
+
+// CloseSessionAccounting resolves an in-flight impacted session at the
+// end of the run (called once by the assembly before aggregating stats)
+// so Impacted == Recovered + Lost holds in the final metrics.
+func (t *Terminal) CloseSessionAccounting() { t.resolveSessionEnd() }
 
 // awaitAdmission claims a stream slot before each movie, looping
 // through the rejection (NACK) path with jittered backoff. A terminal
@@ -350,6 +417,7 @@ func (t *Terminal) awaitAdmission(p *sim.Proc) {
 	for {
 		enq := t.k.Now()
 		if t.cfg.Admission.Admit(p, t.id) {
+			t.holdsSlot = true
 			if t.k.Now() != enq {
 				t.noteStarted()
 			}
@@ -405,6 +473,11 @@ func (t *Terminal) startMovie(vid int) {
 	t.oooBytes = 0
 	t.consumedFrames = 0
 	t.playing = false
+	// A pending re-admission belonged to the previous session; a fresh
+	// movie starts clean (late-session impactions are resolved by
+	// resolveSessionEnd, not migrated).
+	t.needReadmit = false
+	t.sessAborted = false
 	t.drawPauses()
 	t.drawSeeks()
 	t.stats.MoviesStarted++
@@ -427,6 +500,9 @@ const (
 func (t *Terminal) playMovie(p *sim.Proc) {
 	for {
 		t.waitPrimed(p)
+		if t.sessAborted {
+			return // failover re-admission rejected: session over
+		}
 		t.stats.Primes++
 		var recovered sim.Duration
 		if t.glitchAt != 0 {
@@ -458,6 +534,11 @@ func (t *Terminal) playMovie(p *sim.Proc) {
 		t.wakeFetcher()
 		reason := t.displayUntilStall(p)
 		t.playing = false
+		if t.sessAborted {
+			// Aborted mid-display: the buffered tail has been shown; end
+			// the session without glitch accounting (it is counted lost).
+			return
+		}
 		switch reason {
 		case stallFinished:
 			return
@@ -484,6 +565,9 @@ func (t *Terminal) playMovie(p *sim.Proc) {
 // This is the §5.1 "fills or primes its buffers" condition, robust to
 // partial-frame residues and end-of-video tails.
 func (t *Terminal) primed() bool {
+	if t.sessAborted {
+		return true // nothing more will arrive; let the player run out
+	}
 	if t.outstanding > 0 {
 		return false
 	}
@@ -631,6 +715,11 @@ func (t *Terminal) drawPauses() {
 
 func (t *Terminal) fetcher(p *sim.Proc) {
 	for {
+		if t.needReadmit {
+			t.needReadmit = false
+			t.readmitFailover(p)
+			continue
+		}
 		if t.video == nil || t.nextReq >= t.nblocks {
 			// Nothing left to request for this movie; await the next one.
 			t.movieChange.Wait(p)
@@ -668,6 +757,38 @@ func (t *Terminal) fetcher(p *sim.Proc) {
 	}
 }
 
+// readmitFailover migrates an impacted session's admission slot through
+// the failover-priority path: the old slot is returned (the crashed
+// node's share of capacity is gone) and the session re-admits ahead of
+// new arrivals. Runs on the fetcher so the player keeps displaying
+// buffered data while the re-admission waits. A rejection — the
+// survivors genuinely cannot carry the stream — aborts the session,
+// which is then accounted lost.
+func (t *Terminal) readmitFailover(p *sim.Proc) {
+	if t.cfg.Admission == nil || !t.holdsSlot {
+		return
+	}
+	t.stats.FailoverReadmits++
+	t.cfg.Admission.Release(t.id)
+	t.holdsSlot = false
+	if t.cfg.Admission.AdmitFailover(p, t.id) {
+		t.holdsSlot = true
+		return
+	}
+	t.stats.AdmRejects++
+	t.abortSession()
+}
+
+// abortSession ends the current session early: pending requests are
+// cancelled, no further blocks are fetched, and the player drains the
+// buffered tail and returns. resolveSessionEnd then counts it lost.
+func (t *Terminal) abortSession() {
+	t.sessAborted = true
+	t.cancelPending()
+	t.nextReq = t.nblocks
+	t.wakeOnArrival()
+}
+
 // sleepUntilSpace waits until display will have freed `need` more bytes.
 func (t *Terminal) sleepUntilSpace(p *sim.Proc, need int64) {
 	period := sim.Time(t.video.FramePeriod())
@@ -693,18 +814,30 @@ func (t *Terminal) sleepUntilSpace(p *sim.Proc, need int64) {
 	p.SleepUntil(wake)
 }
 
-// issue sends the request for block t.nextReq.
+// issue sends the request for block t.nextReq. With failover enabled,
+// a block whose primary node is suspect is resolved to its mirror copy
+// up front — the session streams on from survivors instead of paying a
+// timeout-and-retry round trip per block.
 func (t *Terminal) issue(p *sim.Proc, size int64) {
 	b := t.nextReq
 	t.nextReq++
 	t.outstanding += size
 	addr := t.place.Locate(t.vid, b)
+	copy := 0
+	if t.cfg.Failover && t.place.Replicas() > 1 && t.cfg.Health.Suspect(addr.Node) {
+		if alt := t.place.LocateCopy(t.vid, b, 1); !t.cfg.Health.Suspect(alt.Node) {
+			t.rec.SessFailover(t.id, addr.Node, t.vid, b)
+			t.stats.FailoverRedirects++
+			addr, copy = alt, 1
+		}
+	}
 	req := &proto.BlockRequest{
 		Video:    t.vid,
 		Block:    b,
 		Size:     size,
 		Deadline: t.deadlineFor(b),
 		Terminal: t.id,
+		Copy:     copy,
 		Deliver:  t.onReply,
 		Issued:   t.k.Now(),
 	}
@@ -713,7 +846,7 @@ func (t *Terminal) issue(p *sim.Proc, size int64) {
 	}
 	t.send(addr.Node, req)
 	if t.cfg.RequestTimeout > 0 {
-		pr := &pendingReq{req: req, vid: t.vid, block: b, size: size, tries: 1}
+		pr := &pendingReq{req: req, vid: t.vid, block: b, size: size, tries: 1, node: addr.Node}
 		t.pending[b] = pr
 		t.armTimeout(pr)
 	}
@@ -743,6 +876,11 @@ func (t *Terminal) onReply(req *proto.BlockRequest) {
 }
 
 func (t *Terminal) applyArrival(req *proto.BlockRequest) {
+	if t.cfg.Health != nil {
+		// Any reply — data, NACK, even a stale one — proves the sending
+		// node is alive.
+		t.cfg.Health.ReportOK(t.id, t.place.LocateCopy(req.Video, req.Block, req.Copy).Node)
+	}
 	pr := t.pending[req.Block]
 	live := pr != nil && pr.req == req && req.Video == t.vid
 	if t.cfg.RequestTimeout > 0 && !live {
@@ -784,6 +922,23 @@ func (t *Terminal) applyArrival(req *proto.BlockRequest) {
 	}
 	if t.cfg.OnRespTime != nil {
 		t.cfg.OnRespTime(rt)
+	}
+	if t.impactNode >= 0 && live && (pr.tries == 1 || pr.redirected) &&
+		req.Issued >= t.impactAt &&
+		t.place.Locate(req.Video, req.Block).Node == t.impactNode {
+		// Recovery: a block homed on the impacted node arrived on its
+		// first attempt (proactive mirror redirect, or the node's own
+		// restarted primary) or via a deliberate failover resend around
+		// the suspect — the session streams on without paying further
+		// timeout penalties. Pre-impaction stragglers (Issued < impactAt)
+		// and blind retry rotation don't count.
+		lat := t.k.Now().Sub(t.impactAt)
+		t.stats.SessionsRecovered++
+		t.stats.FailoverLatSum += lat
+		if lat > t.stats.FailoverLatMax {
+			t.stats.FailoverLatMax = lat
+		}
+		t.impactNode = -1
 	}
 	t.admit(req.Block, req.Size)
 	t.rec.TermBuffer(t.id, t.BufferedBytes(), t.outstanding, t.frontierBlocks)

@@ -151,6 +151,15 @@ func WriteChromeTrace(w io.Writer, d *Data) error {
 		case KindRebuildStart, KindRebuildDone:
 			item(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":%q,"s":"p","args":{"blocks":%d}}`,
 				pidDisk, ev.A, usec(ev.T), ev.Kind.Name(), ev.B)
+		case KindNodeSuspect, KindNodeRejoin:
+			item(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":%q,"s":"p","args":{"node":%d,"terminal":%d}}`,
+				pidTerm, ev.Terminal, usec(ev.T), ev.Kind.Name(), ev.A, ev.Terminal)
+		case KindSessFailover:
+			item(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":"failover","s":"t","args":{"node":%d,"video":%d,"block":%d}}`,
+				pidTerm, ev.Terminal, usec(ev.T), ev.A, ev.B, ev.C)
+		case KindNodeDrop:
+			item(`{"ph":"i","pid":%d,"tid":0,"ts":%s,"name":"node drop","s":"p","args":{"node":%d,"reply":%d}}`,
+				pidNet, usec(ev.T), ev.A, ev.B)
 		case KindNetSend:
 			if ev.C == 1 { // only drops are interesting as instants
 				item(`{"ph":"i","pid":%d,"tid":0,"ts":%s,"name":"drop","s":"p","args":{"bytes":%d}}`,

@@ -99,6 +99,12 @@ const (
 	KindRebuildStart // A=disk B=blocks — stale set marked, paced pass begins
 	KindRebuildDone  // A=disk B=rebuilt C=window_ns — redundancy window closed
 
+	// Node failover: suspect/rejoin lifecycle and session migration.
+	KindNodeSuspect  // A=node B=consec_timeouts — terminal marked the node suspect
+	KindSessFailover // A=node B=video C=block — session redirecting reads off a suspect node
+	KindNodeRejoin   // A=node B=downtime_ns — node answered again (or restarted); suspicion cleared
+	KindNodeDrop     // A=node B=reply C=dropped — crashed node silently dropped a message
+
 	numKinds
 )
 
@@ -164,6 +170,10 @@ var kindInfo = [numKinds]struct {
 	KindOverLimit:    {"over.limit", "over", [4]string{"limit", "prev", "slack_ns", ""}},
 	KindRebuildStart: {"rebuild.start", "rebuild", [4]string{"disk", "blocks", "", ""}},
 	KindRebuildDone:  {"rebuild.done", "rebuild", [4]string{"disk", "rebuilt", "window_ns", ""}},
+	KindNodeSuspect:  {"node.suspect", "node", [4]string{"node", "consec_timeouts", "", ""}},
+	KindSessFailover: {"sess.failover", "node", [4]string{"node", "video", "block", ""}},
+	KindNodeRejoin:   {"node.rejoin", "node", [4]string{"node", "downtime_ns", "", ""}},
+	KindNodeDrop:     {"node.drop", "node", [4]string{"node", "reply", "dropped", ""}},
 }
 
 // Name returns the schema name of the kind ("disk.enqueue", …).
@@ -407,6 +417,44 @@ func (r *Recorder) RebuildDone(disk, rebuilt int, window sim.Duration) {
 		return
 	}
 	r.emit(KindRebuildDone, -1, int64(disk), int64(rebuilt), int64(window), 0)
+}
+
+// NodeSuspect records a terminal marking a node suspect after consec
+// consecutive request timeouts against it.
+func (r *Recorder) NodeSuspect(terminal, node, consec int) {
+	if r == nil {
+		return
+	}
+	r.emit(KindNodeSuspect, int32(terminal), int64(node), int64(consec), 0, 0)
+}
+
+// SessFailover records a session redirecting a block read to the mirror
+// copy because the block's primary node is suspect.
+func (r *Recorder) SessFailover(terminal, node, video, block int) {
+	if r == nil {
+		return
+	}
+	r.emit(KindSessFailover, int32(terminal), int64(node), int64(video), int64(block), 0)
+}
+
+// NodeRejoin records suspicion of a node being cleared — the node
+// answered a request again, or its restart was observed. downtime is
+// how long the node was down (0 when only suspected, never crashed).
+func (r *Recorder) NodeRejoin(terminal, node int, downtime sim.Duration) {
+	if r == nil {
+		return
+	}
+	r.emit(KindNodeRejoin, int32(terminal), int64(node), int64(downtime), 0, 0)
+}
+
+// NodeDrop records a crashed node silently dropping a message: an
+// incoming request (reply=0) or an outbound reply (reply=1). dropped is
+// the node's running drop count.
+func (r *Recorder) NodeDrop(terminal, node int, reply bool, dropped int64) {
+	if r == nil {
+		return
+	}
+	r.emit(KindNodeDrop, int32(terminal), int64(node), b2i(reply), dropped, 0)
 }
 
 // TermBuffer records a playout-buffer occupancy sample, taken whenever
