@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race determinism verify bench bench-workers bench-snapshot trace-guard trace-demo staticcheck govulncheck chaos chaos-soak
+.PHONY: all build vet test race determinism verify bench bench-workers bench-snapshot trace-guard trace-demo staticcheck govulncheck chaos chaos-soak doc-check
 
 all: verify
 
@@ -64,7 +64,12 @@ CHAOS_SOAK_FLAGS ?= -short
 chaos-soak:
 	$(GO) test -race $(CHAOS_SOAK_FLAGS) -run ChaosSoak -timeout 10m ./internal/core/
 
-verify: build vet staticcheck govulncheck test race trace-guard chaos-soak
+# Documentation drift: broken intra-repo markdown links and CLI flags
+# missing from README.md (cmd/spiffi-doccheck).
+doc-check:
+	$(GO) run ./cmd/spiffi-doccheck
+
+verify: build vet staticcheck govulncheck test race trace-guard chaos-soak doc-check
 
 # Seeded chaos suite under the race detector: fault injection, overload
 # control, admission, retry and rebuild tests (FAULTS.md, OVERLOAD.md).

@@ -84,7 +84,7 @@ type Controller struct {
 	limit    int
 	active   int
 	waiters  []*waiter
-	prio     []*waiter // failover re-admissions, always popped first
+	prio     []*waiter    // failover re-admissions, always popped first
 	patience sim.Duration // 0 = wait forever
 	rec      *trace.Recorder
 

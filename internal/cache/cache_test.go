@@ -1,0 +1,220 @@
+package cache
+
+import (
+	"testing"
+
+	"spiffi/internal/rng"
+)
+
+func lruCache(budgetBlocks int64, prefix, nVideos int) *Cache {
+	cfg := Config{BudgetBytes: 1, Policy: PolicyLRU, PrefixBlocks: prefix}
+	return New(cfg, budgetBlocks, nVideos) // unit-size blocks: budget counts blocks
+}
+
+func zipfCache(budgetBlocks int64, prefix, nVideos int) *Cache {
+	cfg := Config{BudgetBytes: 1, Policy: PolicyZipfRank, PrefixBlocks: prefix}
+	return New(cfg, budgetBlocks, nVideos)
+}
+
+func TestConfigNormalizeFillsDefaultsOnlyWhenEnabled(t *testing.T) {
+	zero := Config{}
+	if got := zero.Normalize(); got != zero {
+		t.Fatalf("disabled config changed by Normalize: %+v", got)
+	}
+	on := Config{BudgetBytes: 1 << 20}.Normalize()
+	if on.Policy != PolicyLRU || on.PrefixBlocks != 8 {
+		t.Fatalf("enabled config defaults wrong: %+v", on)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	if err := (Config{BudgetBytes: -1}).Validate(); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if err := (Config{BudgetBytes: 1, Policy: "clock", PrefixBlocks: 4}).Validate(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := (Config{BudgetBytes: 1, Policy: PolicyLRU}).Validate(); err == nil {
+		t.Fatal("zero PrefixBlocks accepted on enabled cache")
+	}
+	if err := (Config{BudgetBytes: 1 << 20, Policy: PolicyZipfRank, PrefixBlocks: 4}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestLookupInsertBasics(t *testing.T) {
+	c := lruCache(4, 2, 3)
+	if c.Lookup(0, 0) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(0, 0, 1)
+	if !c.Contains(0, 0) || !c.Lookup(0, 0) {
+		t.Fatal("inserted block not served")
+	}
+	// Non-prefix blocks are never cached and never counted.
+	c.Insert(0, 5, 1)
+	if c.Contains(0, 5) {
+		t.Fatal("non-prefix block cached")
+	}
+	misses := c.Stats().Misses
+	if c.Lookup(0, 5) {
+		t.Fatal("hit on non-prefix block")
+	}
+	if c.Stats().Misses != misses {
+		t.Fatal("non-prefix lookup counted as miss")
+	}
+	// Duplicate insert is a no-op.
+	c.Insert(0, 0, 1)
+	if got := c.Stats().Inserts; got != 1 {
+		t.Fatalf("duplicate insert counted: %d", got)
+	}
+	if got := c.Used(); got != 1 {
+		t.Fatalf("used = %d, want 1", got)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := lruCache(3, 8, 4)
+	c.Insert(0, 0, 1)
+	c.Insert(1, 0, 1)
+	c.Insert(2, 0, 1)
+	c.Lookup(0, 0) // refresh video 0; LRU victim is now video 1's block
+	c.Insert(3, 0, 1)
+	if c.Contains(1, 0) {
+		t.Fatal("LRU kept the least recently used block")
+	}
+	for _, v := range []int{0, 2, 3} {
+		if !c.Contains(v, 0) {
+			t.Fatalf("LRU evicted wrong block (video %d missing)", v)
+		}
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+}
+
+func TestZipfRankEvictsLeastPopularDeepestFirst(t *testing.T) {
+	c := zipfCache(4, 8, 3)
+	// Video 0 is popular (3 lookups), video 1 unpopular (1 lookup).
+	c.Lookup(0, 0)
+	c.Lookup(0, 0)
+	c.Lookup(0, 0)
+	c.Lookup(1, 0)
+	c.Insert(0, 0, 1)
+	c.Insert(0, 1, 1)
+	c.Insert(1, 0, 1)
+	c.Insert(1, 1, 1)
+	// Full. The next insert must evict video 1's deepest block (1,1).
+	c.Insert(0, 2, 1)
+	if c.Contains(1, 1) {
+		t.Fatal("zipf-rank kept the least-popular video's deepest block")
+	}
+	if !c.Contains(1, 0) {
+		t.Fatal("zipf-rank evicted the prefix head instead of the tail")
+	}
+	// Again: victim is (1,0), video 1's last block.
+	c.Insert(0, 3, 1)
+	if c.Contains(1, 0) {
+		t.Fatal("zipf-rank spared the least-popular video's remaining block")
+	}
+	for b := 0; b < 4; b++ {
+		if !c.Contains(0, b) {
+			t.Fatalf("popular video lost block %d", b)
+		}
+	}
+}
+
+func TestZipfRankTieBreaksTowardHigherVideoID(t *testing.T) {
+	c := zipfCache(2, 8, 4)
+	// No lookups at all: every video has rank count 0 (full tie).
+	c.Insert(1, 0, 1)
+	c.Insert(3, 0, 1)
+	c.Insert(2, 0, 1) // forces one eviction: highest-id tied video is 3
+	if c.Contains(3, 0) {
+		t.Fatal("tie-break did not evict the highest video id")
+	}
+	if !c.Contains(1, 0) || !c.Contains(2, 0) {
+		t.Fatal("tie-break evicted the wrong video")
+	}
+}
+
+// TestPoliciesUnderSeededZipfStream drives both policies with the same
+// seeded Zipf request stream and checks (a) determinism — identical
+// replays give identical stats — and (b) the rank policy retains the
+// hot head of the popularity distribution at least as well as LRU.
+func TestPoliciesUnderSeededZipfStream(t *testing.T) {
+	const (
+		nVideos = 16
+		prefix  = 4
+		budget  = 8 // blocks
+		draws   = 4000
+	)
+	run := func(policy PolicyKind) (Stats, *Cache) {
+		cfg := Config{BudgetBytes: 1, Policy: policy, PrefixBlocks: prefix}
+		c := New(cfg, budget, nVideos)
+		src := rng.New(42).Derive("cache-test")
+		zf := rng.NewZipf(nVideos, 1.2)
+		blockSrc := src.Derive("block")
+		for i := 0; i < draws; i++ {
+			v := zf.Draw(src)
+			b := blockSrc.Intn(prefix)
+			if !c.Lookup(v, b) {
+				c.Insert(v, b, 1)
+			}
+		}
+		return c.Stats(), c
+	}
+
+	lruA, _ := run(PolicyLRU)
+	lruB, _ := run(PolicyLRU)
+	if lruA != lruB {
+		t.Fatalf("LRU replay diverged: %+v vs %+v", lruA, lruB)
+	}
+	rankA, rankC := run(PolicyZipfRank)
+	rankB, _ := run(PolicyZipfRank)
+	if rankA != rankB {
+		t.Fatalf("zipf-rank replay diverged: %+v vs %+v", rankA, rankB)
+	}
+
+	if rankA.Hits <= 0 || lruA.Hits <= 0 {
+		t.Fatalf("degenerate stream: lru=%+v rank=%+v", lruA, rankA)
+	}
+	// Under z=1.2 skew the rank policy should hit at least as often as
+	// LRU: it pins the head videos while LRU churns on recency.
+	if rankA.Hits < lruA.Hits {
+		t.Fatalf("zipf-rank hits %d below LRU hits %d under skewed stream", rankA.Hits, lruA.Hits)
+	}
+	// The most popular video's prefix must be fully resident at the end.
+	for b := 0; b < prefix; b++ {
+		if !rankC.Contains(0, b) {
+			t.Fatalf("zipf-rank dropped hot prefix block %d", b)
+		}
+	}
+}
+
+func TestInsertLargerThanBudgetIgnored(t *testing.T) {
+	c := lruCache(4, 8, 1)
+	c.Insert(0, 0, 100)
+	if c.Used() != 0 || c.Stats().Inserts != 0 {
+		t.Fatalf("oversized insert accepted: used=%d", c.Used())
+	}
+}
+
+func TestEvictionMakesRoomForLargerBlock(t *testing.T) {
+	c := lruCache(4, 8, 2)
+	c.Insert(0, 0, 2)
+	c.Insert(1, 0, 2)
+	c.Insert(0, 1, 3) // needs two evictions
+	if !c.Contains(0, 1) {
+		t.Fatal("large block not admitted after evictions")
+	}
+	if c.Used() != 3 {
+		t.Fatalf("used = %d, want 3", c.Used())
+	}
+	if got := c.Stats().Evictions; got != 2 {
+		t.Fatalf("evictions = %d, want 2", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"spiffi/internal/bufferpool"
+	"spiffi/internal/cache"
 	"spiffi/internal/core"
 	"spiffi/internal/dsched"
 	"spiffi/internal/faults"
@@ -71,6 +72,11 @@ type Flags struct {
 	PatienceS  *float64
 	RebuildMBs *float64
 
+	// Prefix caching & stream merging (internal/cache, CACHING.md).
+	CacheMB      *int64
+	CachePolicy  *string
+	PrefixBlocks *int
+
 	// Workers is not part of core.Config: it sizes the worker pool for
 	// tools that evaluate many runs (searches, sweeps).
 	Workers *int
@@ -132,6 +138,10 @@ func Register(fs *flag.FlagSet) *Flags {
 		Shed:       fs.Bool("shed", false, "shed low-priority streams to half rate under overload"),
 		PatienceS:  fs.Float64("patience", 0, "admission queue patience in seconds (0 = default 10; <0 = wait forever)"),
 		RebuildMBs: fs.Float64("rebuildrate", 0, "mirror rebuild rate in MB/s after disk repair (0 = off)"),
+
+		CacheMB:      fs.Int64("cache", 0, "prefix-cache budget in MB, carved from server memory (0 = off)"),
+		CachePolicy:  fs.String("cachepolicy", "", "cache replacement: lru|zipf-rank (default lru with -cache)"),
+		PrefixBlocks: fs.Int("prefixblocks", 0, "cacheable prefix depth in blocks per video (0 = default 8 with -cache)"),
 
 		Workers: fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); results are identical for any value"),
 
@@ -288,6 +298,13 @@ func (f *Flags) Config() (core.Config, error) {
 	cfg.Overload.Shed = *f.Shed
 	cfg.Overload.Patience = sim.DurationOfSeconds(*f.PatienceS)
 	cfg.Overload.RebuildRate = int64(*f.RebuildMBs * float64(core.MB))
+
+	cfg.Cache.BudgetBytes = *f.CacheMB * core.MB
+	cfg.Cache.Policy = cache.PolicyKind(*f.CachePolicy)
+	cfg.Cache.PrefixBlocks = *f.PrefixBlocks
+	if !cfg.Cache.Enabled() && (*f.CachePolicy != "" || *f.PrefixBlocks != 0) {
+		return cfg, fmt.Errorf("-cachepolicy/-prefixblocks require -cache")
+	}
 	return cfg, nil
 }
 

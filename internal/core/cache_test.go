@@ -1,0 +1,148 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"spiffi/internal/cache"
+	"spiffi/internal/sim"
+	"spiffi/internal/trace"
+)
+
+// A cache config with options set but a zero budget is disabled and
+// must reproduce the cache-less build bit for bit: same pool size, no
+// merge coordinator, identical Metrics.
+func TestCacheZeroBudgetInert(t *testing.T) {
+	base := func() Config {
+		cfg := DefaultConfig(8)
+		cfg.Nodes = 2
+		cfg.DisksPerNode = 2
+		cfg.VideosPerDisk = 1
+		cfg.Video.Length = sim.Minute
+		cfg.ServerMemBytes = 32 * MB
+		cfg.StartWindow = 10 * sim.Second
+		cfg.MeasureTime = 40 * sim.Second
+		return cfg
+	}
+	run := func(cfg Config) Metrics {
+		s, err := NewSimulation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	plain := run(base())
+	cfg := base()
+	cfg.Cache = cache.Config{Policy: cache.PolicyLRU, PrefixBlocks: 5, BudgetBytes: 0}
+	disabled := run(cfg)
+	if !reflect.DeepEqual(plain, disabled) {
+		t.Fatalf("zero-budget cache config perturbed the run:\nplain:    %+v\ndisabled: %+v", plain, disabled)
+	}
+	if plain.CacheSeen() {
+		t.Fatalf("cache counters nonzero without a cache: %+v", plain)
+	}
+}
+
+// mergeConfig builds a two-terminal system where both terminals pick
+// the same movie (extreme skew over two videos), so the second viewer
+// merges onto the first one's in-flight stream.
+func mergeConfig() Config {
+	cfg := DefaultConfig(2)
+	cfg.Nodes = 2
+	cfg.DisksPerNode = 1
+	cfg.VideosPerDisk = 1
+	cfg.ZipfZ = 8
+	cfg.RandomInitialPosition = false
+	cfg.Video.Length = 90 * sim.Second
+	cfg.ServerMemBytes = 48 * MB
+	cfg.TerminalMemBytes = 8 * MB
+	cfg.StartWindow = 10 * sim.Second
+	cfg.MeasureTime = 150 * sim.Second
+	cfg.Cache = cache.Config{BudgetBytes: 16 * MB, Policy: cache.PolicyZipfRank, PrefixBlocks: 16}
+	return cfg
+}
+
+// Stream-merge correctness: the merged terminal plays every movie to
+// completion without a glitch, receives no block twice (a duplicate
+// would count as a stale drop), and the merged span's disk reads are
+// issued once — proved from the trace: between the join and the
+// follower's next session start it sends the server no block request
+// for the merged video at all, so the only disk stream reading those
+// blocks is the leader's.
+func TestStreamMergeCorrectness(t *testing.T) {
+	cfg := mergeConfig()
+	cfg.Trace = trace.Options{Enabled: true, Capacity: 1 << 18}
+	s, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Merges < 1 {
+		t.Fatalf("no merge happened: %+v", m)
+	}
+	if m.Glitches != 0 {
+		t.Fatalf("merged playback glitched %d times", m.Glitches)
+	}
+	if m.StaleDrops != 0 {
+		t.Fatalf("stale drops %d: a merged follower received data twice or late", m.StaleDrops)
+	}
+	if m.MoviesCompleted < 2 {
+		t.Fatalf("movies completed = %d, want both terminals to finish", m.MoviesCompleted)
+	}
+	if m.MergedBlocks < 30 {
+		t.Fatalf("merged blocks = %d, want the follower fed off the leader's stream", m.MergedBlocks)
+	}
+	var joins int
+	var join *trace.Event
+	for i := range m.Trace.Events {
+		if m.Trace.Events[i].Kind == trace.KindMergeJoin {
+			if join == nil {
+				join = &m.Trace.Events[i]
+			}
+			joins++
+		}
+	}
+	if int64(joins) != m.Merges {
+		t.Fatalf("trace join events = %d, metrics merges = %d", joins, m.Merges)
+	}
+
+	// The follower's ride on the first merged stream spans from the
+	// join to its next session start (its first prime after the join is
+	// the merged movie's own playback start; the second is the next
+	// movie's). Inside that span the follower must never touch the
+	// server for the merged video: its prefix plays out of the node
+	// caches and everything from the join point on arrives forwarded
+	// off the leader's in-flight stream, so the merged span's disk
+	// reads are the leader's, issued once. A pool reference by the
+	// follower would mean it fell back to fetching for itself.
+	fid, video := join.Terminal, int(join.B)
+	end := sim.Time(1) << 62
+	primes := 0
+	for _, ev := range m.Trace.Events {
+		if ev.Terminal != fid || ev.T <= join.T {
+			continue
+		}
+		if ev.Kind == trace.KindTermPrime {
+			if primes++; primes == 2 {
+				end = ev.T
+				break
+			}
+		}
+	}
+	for _, ev := range m.Trace.Events {
+		if ev.Terminal != fid || ev.T < join.T || ev.T >= end {
+			continue
+		}
+		if (ev.Kind == trace.KindPoolHit || ev.Kind == trace.KindPoolMiss) && int(ev.B) == video {
+			t.Fatalf("follower %d fetched video %d block %d from the server at %v while merged",
+				fid, video, ev.C, ev.T)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"spiffi/internal/bufferpool"
+	"spiffi/internal/cache"
 	"spiffi/internal/cpu"
 	"spiffi/internal/disk"
 	"spiffi/internal/dsched"
@@ -153,6 +154,15 @@ type Config struct {
 	// without it reproduce earlier builds bit for bit.
 	RetryJitter sim.Duration
 
+	// Cache configures the popularity-aware prefix-cache tier
+	// (internal/cache, CACHING.md): each node keeps the first
+	// PrefixBlocks blocks of popular videos in a budget carved from the
+	// buffer pool, and viewers whose prefix is resident merge onto
+	// in-flight disk streams (core/merge.go). The zero value disables
+	// the tier entirely — no caches are built, the pool keeps its full
+	// size, and runs reproduce cache-less builds bit for bit.
+	Cache cache.Config
+
 	// Overload configures the adaptive overload-control subsystem:
 	// measurement-based admission, QoS load shedding, and rate-limited
 	// mirror rebuild (internal/overload). The zero value arms no
@@ -203,9 +213,16 @@ func (c Config) TotalDisks() int { return c.Nodes * c.DisksPerNode }
 // NumVideos returns the library size.
 func (c Config) NumVideos() int { return c.VideosPerDisk * c.TotalDisks() }
 
-// PoolPagesPerNode returns each node's buffer-pool frame count.
+// PoolPagesPerNode returns each node's buffer-pool frame count. An
+// enabled prefix cache carves its budget out of the same server memory,
+// shrinking the pool — the comparison against a cache-less run is at
+// equal total hardware.
 func (c Config) PoolPagesPerNode() int {
-	return int(c.ServerMemBytes / int64(c.Nodes) / c.StripeBytes)
+	mem := c.ServerMemBytes
+	if c.Cache.Enabled() {
+		mem -= c.Cache.BudgetBytes
+	}
+	return int(mem / int64(c.Nodes) / c.StripeBytes)
 }
 
 // StripePlayTime returns how long one full stripe block plays at the
@@ -264,6 +281,7 @@ func (c Config) Normalize() Config {
 		}
 	}
 	c.Overload = c.Overload.Normalize(c.StripePlayTime())
+	c.Cache = c.Cache.Normalize()
 	return c
 }
 
@@ -311,6 +329,12 @@ func (c Config) Validate() error {
 	}
 	if err := c.Overload.Validate(); err != nil {
 		return err
+	}
+	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	if c.Cache.Enabled() && c.Cache.BudgetBytes/int64(c.Nodes) < c.StripeBytes {
+		return fmt.Errorf("core: cache budget %d below one block per node", c.Cache.BudgetBytes)
 	}
 	if c.Overload.RebuildRate > 0 && !c.ReplicateVideos {
 		return fmt.Errorf("core: mirror rebuild needs ReplicateVideos (no healthy copy to rebuild from)")

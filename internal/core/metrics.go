@@ -119,12 +119,27 @@ type Metrics struct {
 	// terminals; shedding must never pick them, so it stays zero however
 	// hard the shed machinery works (the chaos-soak invariant).
 	DegradedBlocksProtected int64
-	RebuildWindows     int64 // completed rebuilds (closed redundancy windows)
-	RebuildWindowAvg   sim.Duration
-	RebuildWindowMax   sim.Duration
-	RebuiltBlocks      int64
-	RebuildIOs         int64 // disk transfers spent on reconstruction
-	StaleNacks         int64 // demand reads NACKed awaiting rebuild
+	RebuildWindows          int64 // completed rebuilds (closed redundancy windows)
+	RebuildWindowAvg        sim.Duration
+	RebuildWindowMax        sim.Duration
+	RebuiltBlocks           int64
+	RebuildIOs              int64 // disk transfers spent on reconstruction
+	StaleNacks              int64 // demand reads NACKed awaiting rebuild
+
+	// Prefix-cache and stream-merge aggregates (internal/cache,
+	// core/merge.go, CACHING.md). Cache counters sum over node caches
+	// and are lifetime (hit ratio is a property of the cache, not of the
+	// measurement window); merge counters likewise span the run.
+	// DiskReads counts completed disk service operations inside the
+	// window — the caching experiment's disk-I/O-per-terminal metric.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheInserts   int64
+	CacheEvictions int64
+	Merges         int64 // successful stream-merge joins
+	MergedBlocks   int64 // block deliveries forwarded off merged streams
+	MergeDetaches  int64 // mid-stream exits from merged streams
+	DiskReads      int64
 
 	Events uint64 // kernel events dispatched (simulator cost)
 
@@ -179,6 +194,11 @@ func (m Metrics) String() string {
 				m.RebuiltBlocks, m.RebuildIOs, m.StaleNacks)
 		}
 	}
+	if m.CacheSeen() {
+		fmt.Fprintf(&b, "cache: hits=%d misses=%d inserts=%d evictions=%d  merges=%d forwarded=%d detaches=%d  diskreads=%d\n",
+			m.CacheHits, m.CacheMisses, m.CacheInserts, m.CacheEvictions,
+			m.Merges, m.MergedBlocks, m.MergeDetaches, m.DiskReads)
+	}
 	if t := m.Trace; t != nil {
 		fmt.Fprintf(&b, "trace: %d events (%d retained)\n", t.Total, len(t.Events))
 		if t.DiskWait != nil && t.DiskWait.Count() > 0 {
@@ -211,4 +231,10 @@ func (m Metrics) FailoverSeen() bool {
 func (m Metrics) OverloadSeen() bool {
 	return m.AdmLimit > 0 || m.Sheds > 0 || m.DegradedBlocks > 0 ||
 		m.RebuiltBlocks > 0 || m.StaleNacks > 0 || m.RebuildWindows > 0
+}
+
+// CacheSeen reports whether the prefix-cache tier saw any activity.
+func (m Metrics) CacheSeen() bool {
+	return m.CacheHits > 0 || m.CacheMisses > 0 || m.CacheInserts > 0 ||
+		m.Merges > 0 || m.MergedBlocks > 0
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"spiffi/internal/admission"
+	"spiffi/internal/cache"
 	"spiffi/internal/disk"
 	"spiffi/internal/faults"
 	"spiffi/internal/layout"
@@ -28,6 +29,11 @@ type Simulation struct {
 	terms []*terminal.Terminal
 	piggy *piggyCoordinator
 	rec   *trace.Recorder // nil unless cfg.Trace.Enabled
+
+	// Prefix-cache tier (CACHING.md); both nil unless cfg.Cache is
+	// enabled.
+	caches []*cache.Cache // one per node
+	merge  *mergeCoordinator
 
 	// Overload-control subsystem; all nil unless cfg.Overload asks for
 	// the corresponding mechanism.
@@ -115,6 +121,15 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 			d.SetTrace(s.rec)
 		}
 	}
+	if cfg.Cache.Enabled() {
+		s.caches = make([]*cache.Cache, cfg.Nodes)
+		perNode := cfg.Cache.BudgetBytes / int64(cfg.Nodes)
+		for n := range s.nodes {
+			s.caches[n] = cache.New(cfg.Cache, perNode, cfg.NumVideos())
+			s.caches[n].SetTrace(s.rec, n)
+			s.nodes[n].SetCache(s.caches[n])
+		}
+	}
 
 	if cfg.Faults.Enabled() {
 		// The fault plan is drawn from derived streams and scheduled up
@@ -186,6 +201,17 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	if cfg.PiggybackDelay > 0 {
 		s.piggy = newPiggyCoordinator(s.k, cfg.PiggybackDelay)
 	}
+	if cfg.Cache.Enabled() {
+		s.merge = newMergeCoordinator(
+			cfg.Cache.PrefixBlocks,
+			cfg.TerminalMemBytes, s.place.BlockSize(),
+			s.place.NumBlocks,
+			s.place.SizeOfBlock,
+			s.cachedPrefix,
+			s.forwardMerged,
+			s.rec,
+		)
+	}
 
 	zipf := rng.NewZipf(cfg.NumVideos(), cfg.ZipfZ)
 	instr := func(n int64) sim.Duration {
@@ -220,6 +246,11 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	if s.piggy != nil {
 		tcfg.Gate = s.piggy
 	}
+	if s.merge != nil {
+		// Assigned only when non-nil (same typed-nil caution as
+		// Admission above).
+		tcfg.Merger = s.merge
+	}
 	startSrc := root.Derive("starts")
 	s.terms = make([]*terminal.Terminal, cfg.Terminals)
 	for i := 0; i < cfg.Terminals; i++ {
@@ -250,6 +281,27 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 func (s *Simulation) sendRequest(node int, req *proto.BlockRequest) {
 	n := s.nodes[node]
 	s.net.Send(proto.RequestHeaderBytes, func() { n.DeliverRequest(req) })
+}
+
+// cachedPrefix reports whether blocks [0, upto) of video are all
+// resident in their owning nodes' prefix caches — the merge
+// coordinator's join feasibility check (the follower's catch-up gap
+// must be servable without disk I/O).
+func (s *Simulation) cachedPrefix(video, upto int) bool {
+	for b := 0; b < upto; b++ {
+		if !s.caches[s.place.Locate(video, b).Node].Contains(video, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardMerged ships one block of a merged stream to a follower. The
+// transfer is metered on the interconnect like any reply; no server CPU
+// is charged — the read was already served once for the leader, and the
+// forward models the multicast fan-out of that same buffer.
+func (s *Simulation) forwardMerged(fol *terminal.Terminal, video, block int, size int64) {
+	s.net.Send(size+proto.ReplyHeaderBytes, func() { fol.DeliverMerged(video, block, size) })
 }
 
 // onTerminalStarted is invoked (in simulation context) the first time
@@ -356,6 +408,7 @@ func (s *Simulation) Run() (Metrics, error) {
 		if st.FailoverLatMax > m.FailoverLatMax {
 			m.FailoverLatMax = st.FailoverLatMax
 		}
+		m.MergeDetaches += st.MergeDetaches
 		m.RespTimeSumAdd(st)
 	}
 	if m.Seeks > 0 {
@@ -440,7 +493,19 @@ func (s *Simulation) Run() (Metrics, error) {
 			m.DiskRejects += ds.Rejects
 			m.DiskDownTime += ds.DownTime
 			m.RebuildIOs += ds.RebuildOps
+			m.DiskReads += ds.Served
 		}
+	}
+	for _, c := range s.caches {
+		cs := c.Stats()
+		m.CacheHits += cs.Hits
+		m.CacheMisses += cs.Misses
+		m.CacheInserts += cs.Inserts
+		m.CacheEvictions += cs.Evictions
+	}
+	if s.merge != nil {
+		m.Merges = s.merge.Merges
+		m.MergedBlocks = s.merge.MergedBlocks
 	}
 	m.CPUUtilAvg /= float64(len(s.nodes))
 	m.DiskUtilAvg /= float64(s.cfg.TotalDisks())

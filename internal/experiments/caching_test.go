@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+
+	"spiffi/internal/cache"
+	"spiffi/internal/core"
+)
+
+// The caching experiment's headline claim: at skew z >= 1.0 the
+// Zipf-rank prefix cache strictly beats the cache-less baseline on
+// disk reads per admitted terminal, on identical total hardware (the
+// cache budget is carved out of the same server memory). This runs
+// the experiment's own workload directly rather than through the
+// harness so a regression points at the simulator, not the sweep.
+func TestCachingDominance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full caching workload; skipped in -short")
+	}
+	run := func(cfg core.Config) core.Metrics {
+		s, err := core.NewSimulation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	for _, z := range []float64{1.0, 1.5} {
+		none := cachingBase()
+		none.ZipfZ = z
+		ranked := cachingBase()
+		ranked.ZipfZ = z
+		ranked.Cache = cache.Config{BudgetBytes: 32 * core.MB, Policy: cache.PolicyZipfRank, PrefixBlocks: 16}
+		mn, mr := run(none), run(ranked)
+		if mn.Glitches != 0 || mr.Glitches != 0 {
+			t.Fatalf("z=%.1f: glitches none=%d ranked=%d, want 0", z, mn.Glitches, mr.Glitches)
+		}
+		if mr.DiskReads >= mn.DiskReads {
+			t.Fatalf("z=%.1f: zipf-rank disk reads %d >= no-cache %d — the cache stopped paying for its carve",
+				z, mr.DiskReads, mn.DiskReads)
+		}
+	}
+}

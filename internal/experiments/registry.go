@@ -70,6 +70,7 @@ func Registry() map[string]Runner {
 		"vcr":               single(VCRSeek),
 		"faults":            single(Faults),
 		"overload":          single(Overload),
+		"caching":           single(Caching),
 		"failover":          single(Failover),
 	}
 }

@@ -4,6 +4,18 @@
 // per-disk portion of a video (its "fragment") laid out contiguously.
 // A non-striped placement (whole video on one disk, §7.4) is provided as
 // the paper's comparison baseline.
+//
+// Beyond the paper, a placement can mirror every block onto a second
+// disk (Mirror/MirrorWith) so reads survive a dead disk or node. Two
+// replica policies exist: chained declustering (MirrorChainedDisk, the
+// classic next-disk-in-the-chain placement) and cross-node interleaved
+// declustering (MirrorCrossNode), which sends each node's replicas to
+// rotated *other* nodes — a whole-node crash then leaves every block
+// reachable, and the dead node's read load spreads across all
+// survivors instead of doubling one mirror into a hotspot. FAULTS.md
+// covers how the server and terminals use the replicas (NACK fallback,
+// session failover); LocateCopy is the lookup the retry and failover
+// paths drive.
 package layout
 
 import (

@@ -13,6 +13,16 @@
 // streams are downshifted to degraded mode — and when slack recovers
 // above SlackHigh the limit is raised and shed streams are restored.
 //
+// The controller also owns the rejoin warm-up (SetRejoinWarmup,
+// NoteRejoin): after a crashed node restarts, its disks return with
+// cold buffer pools and a backlog of redirected sessions, so the
+// measured slack briefly looks healthy while the rejoining node is
+// still fragile. For the configured warm-up the estimator suppresses
+// limit *raises* — lowers and sheds still apply, and shed-stream
+// restores are unaffected (they return capacity to streams already
+// admitted) — letting the node refill its pool before new load is
+// admitted against it.
+//
 // Everything here is deterministic: the controller consumes no
 // randomness, and a zero Config arms no timers and changes nothing, so
 // runs without overload control reproduce earlier builds bit for bit.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"spiffi/internal/bufferpool"
+	"spiffi/internal/cache"
 	"spiffi/internal/cpu"
 	"spiffi/internal/disk"
 	"spiffi/internal/dsched"
@@ -100,6 +101,12 @@ type Node struct {
 	restartHook func(downtime sim.Duration)
 
 	rec *trace.Recorder // nil unless tracing is enabled
+
+	// cache, when set, is the node's prefix cache (internal/cache):
+	// primary demand requests check it before the buffer pool and are
+	// served from cache memory on a hit; fetched prefix blocks are
+	// inserted on the way out. Nil = caching tier disabled.
+	cache *cache.Cache
 
 	// stale, when set, marks block copies awaiting mirror rebuild on a
 	// repaired disk: demand reads NACK (unless buffered) and prefetches
@@ -190,6 +197,10 @@ func (n *Node) SetTrace(rec *trace.Recorder) { n.rec = rec }
 // up, with the outage duration (nil = none).
 func (n *Node) SetRestartHook(fn func(downtime sim.Duration)) { n.restartHook = fn }
 
+// SetCache attaches the node's prefix cache (nil = tier disabled). The
+// cache's counters are lifetime, so ResetStats leaves it alone.
+func (n *Node) SetCache(c *cache.Cache) { n.cache = c }
+
 // ResetStats restarts the measurement window on the node and everything
 // it owns.
 func (n *Node) ResetStats() {
@@ -224,6 +235,15 @@ func (n *Node) handle(p *sim.Proc, req *proto.BlockRequest) {
 	addr := n.place.LocateCopy(req.Video, req.Block, req.Copy)
 	if addr.Node != n.id {
 		panic("server: misrouted block request")
+	}
+	if n.cache != nil && req.Copy == 0 && n.cache.Lookup(req.Video, req.Block) {
+		// Prefix-cache hit: served straight from cache memory — no pool
+		// frame, no disk I/O, and no prefetch trigger (the pool's
+		// prefetch chain starts when the stream reaches uncached blocks).
+		// Like buffered data, cached data is served even off a dead disk.
+		n.cpu.Send(p)
+		n.reply(req, req.Size+proto.ReplyHeaderBytes)
+		return
 	}
 	if n.disks[addr.Disk].Failed() && !n.pool.Contains(id) {
 		// The copy's disk is dead and the data is not buffered: NACK
@@ -273,6 +293,11 @@ func (n *Node) handle(p *sim.Proc, req *proto.BlockRequest) {
 
 	n.cpu.Send(p)
 	n.reply(req, req.Size+proto.ReplyHeaderBytes)
+	if n.cache != nil && req.Copy == 0 {
+		// Fetch-through: prefix blocks enter the cache as they are
+		// served, so the next viewer of this video starts from memory.
+		n.cache.Insert(req.Video, req.Block, req.Size)
+	}
 	n.pool.Unpin(pg)
 }
 

@@ -56,6 +56,31 @@ type StartCoordinator interface {
 	JoinOrLead(p *sim.Proc, terminal, video int) (leader bool)
 }
 
+// Merger is the stream-merging surface (core/merge.go, CACHING.md): the
+// generalization of piggybacking that lets a cache-started viewer catch
+// up to an in-flight disk stream so one disk read feeds N terminals.
+//
+// Offer asks to ride an in-flight stream of video; on success it returns
+// the join block `from` — the terminal plays blocks [0, from) out of the
+// node prefix caches (fetched normally, served without disk I/O) and
+// receives every block from `from` on forwarded off the leader's reads
+// via DeliverMerged. Lead registers the terminal as a disk-streaming
+// leader others may merge onto; Advance reports any terminal's contiguous
+// receive frontier passing a block (a leader's paces its stream's
+// forwards, a follower's frees buffer room for more, everyone else's is
+// ignored); Leave removes the terminal from any
+// stream it leads or rides (a departing leader detaches its followers
+// through Unmerge). All calls run in kernel context and must not block.
+// Pull asks the coordinator to forward more blocks to this follower now
+// that buffer room has freed; it reports whether anything was forwarded.
+type Merger interface {
+	Offer(t *Terminal, video int) (from int, ok bool)
+	Lead(t *Terminal, video int)
+	Advance(t *Terminal, video, block int)
+	Pull(t *Terminal) bool
+	Leave(t *Terminal)
+}
+
 // Config carries the per-terminal parameters.
 type Config struct {
 	MemBytes int64 // playout buffer size (paper: 2 MB)
@@ -66,9 +91,10 @@ type Config struct {
 	SendLatency sim.Duration
 	RecvLatency sim.Duration
 
-	Pause *PauseConfig     // nil = no pausing
-	VCR   *VCRConfig       // nil = no rewind/fast-forward activity
-	Gate  StartCoordinator // nil = every terminal streams for itself
+	Pause  *PauseConfig     // nil = no pausing
+	VCR    *VCRConfig       // nil = no rewind/fast-forward activity
+	Gate   StartCoordinator // nil = every terminal streams for itself
+	Merger Merger           // nil = no stream merging (cache tier off)
 
 	// Admission, when non-nil, gates every movie start on an admission
 	// slot; AdmitRetryDelay is the base backoff after a rejection
@@ -183,6 +209,12 @@ type Stats struct {
 	FailoverLatMax    sim.Duration
 	FailoverRedirects int64 // blocks proactively resolved to the mirror copy
 	FailoverReadmits  int64 // failover-priority re-admissions performed
+
+	// MergeDetaches counts mid-stream exits from a merged stream (leader
+	// departed, seek, or buffer pressure), after which the terminal
+	// fetches for itself. Lifetime, not window-reset: a merge may
+	// straddle the measurement boundary.
+	MergeDetaches int64
 }
 
 // Terminal is one subscriber set-top unit.
@@ -243,6 +275,12 @@ type Terminal struct {
 	fetcherWait *sim.Proc // fetcher parked awaiting display progress
 	movieChange *sim.Event
 
+	// mergedFrom, when >= 0, marks this terminal a merge follower: it
+	// fetches blocks [0, mergedFrom) itself (the cached prefix) and
+	// receives every later block forwarded off the leader's stream.
+	// -1 = not merged.
+	mergedFrom int
+
 	started bool
 	// degraded marks the stream shed to half block rate by the
 	// overload controller: the fetcher skips every other block and the
@@ -290,6 +328,7 @@ func New(
 		pending:     make(map[int]*pendingReq),
 		jit:         src.Derive("jitter"),
 		impactNode:  -1,
+		mergedFrom:  -1,
 	}
 	return t
 }
@@ -376,6 +415,24 @@ func (t *Terminal) player(p *sim.Proc) {
 				continue
 			}
 		}
+		if t.cfg.Merger != nil && !(t.cfg.RandomInitialPosition && t.stats.MoviesStarted == 0) {
+			if from, ok := t.cfg.Merger.Offer(t, vid); ok {
+				// Merged start: the prefix [0, from) is served from the
+				// node caches (no disk I/O) and everything after rides
+				// the leader's in-flight stream, so the viewer starts
+				// without claiming an admission slot — a cache hit
+				// bypasses the disk admission cost entirely.
+				t.startMovie(vid)
+				t.mergedFrom = from
+				t.playMovie(p)
+				t.leaveMerge(false)
+				t.resolveSessionEnd()
+				if !t.sessAborted {
+					t.stats.MoviesCompleted++
+				}
+				continue
+			}
+		}
 		if t.cfg.Admission != nil {
 			t.awaitAdmission(p)
 		}
@@ -383,7 +440,14 @@ func (t *Terminal) player(p *sim.Proc) {
 		if t.cfg.RandomInitialPosition && t.stats.MoviesStarted == 1 {
 			t.seekToRandomPosition()
 		}
+		if t.cfg.Merger != nil && t.nextReq == 0 {
+			// Streaming the whole movie from the front: register as a
+			// leader others may merge onto. A random-position start is
+			// mid-movie and cannot be followed.
+			t.cfg.Merger.Lead(t, vid)
+		}
 		t.playMovie(p)
+		t.leaveMerge(false)
 		if t.cfg.Admission != nil && t.holdsSlot {
 			t.cfg.Admission.Release(t.id)
 		}
@@ -393,6 +457,79 @@ func (t *Terminal) player(p *sim.Proc) {
 			t.stats.MoviesCompleted++
 		}
 	}
+}
+
+// leaveMerge exits any merge involvement: a departing leader dissolves
+// its stream (the coordinator detaches the followers), a follower stops
+// riding. detach marks a mid-stream follower exit (seek, abort) in the
+// stats and trace; a natural movie end passes false.
+func (t *Terminal) leaveMerge(detach bool) {
+	if t.cfg.Merger == nil {
+		return
+	}
+	if detach && t.mergedFrom >= 0 {
+		t.stats.MergeDetaches++
+		t.rec.MergeDetach(t.id, t.vid, t.frontierBlocks)
+	}
+	t.mergedFrom = -1
+	t.cfg.Merger.Leave(t)
+	t.wakeFetcher()
+}
+
+// Unmerge is the coordinator-initiated detach: the leader departed, so
+// the follower resumes fetching for itself from its receive frontier.
+// Unlike leaveMerge it must not call back into the coordinator, which
+// is mid-removal.
+func (t *Terminal) Unmerge() {
+	if t.mergedFrom < 0 {
+		return
+	}
+	t.mergedFrom = -1
+	t.stats.MergeDetaches++
+	t.rec.MergeDetach(t.id, t.vid, t.frontierBlocks)
+	t.wakeOnArrival()
+}
+
+// detachMerge is the terminal-initiated mid-stream exit (a forwarded
+// block found no buffer space: the follower fell behind the leader's
+// pace). The dropped block is re-fetched through the normal path.
+func (t *Terminal) detachMerge() {
+	if t.mergedFrom < 0 {
+		return
+	}
+	t.mergedFrom = -1
+	t.stats.MergeDetaches++
+	t.rec.MergeDetach(t.id, t.vid, t.frontierBlocks)
+	t.cfg.Merger.Leave(t)
+	t.wakeFetcher()
+}
+
+// DeliverMerged hands the terminal a block forwarded off its merged
+// stream's single disk read (kernel context; network delay already
+// paid by the forwarder).
+func (t *Terminal) DeliverMerged(video, block int, size int64) {
+	if t.cfg.RecvLatency > 0 {
+		t.k.After(t.cfg.RecvLatency, func() { t.applyMerged(video, block, size) })
+		return
+	}
+	t.applyMerged(video, block, size)
+}
+
+func (t *Terminal) applyMerged(video, block int, size int64) {
+	if t.mergedFrom < 0 || video != t.vid || t.sessAborted || block < t.frontierBlocks {
+		// Detached, repositioned, or aborted since the forward was sent.
+		t.stats.StaleDrops++
+		return
+	}
+	if t.BufferedBytes()+size > t.cfg.MemBytes {
+		t.detachMerge()
+		return
+	}
+	t.stats.BlocksReceived++
+	t.stats.BytesReceived += size
+	t.admit(block, size)
+	t.rec.TermBuffer(t.id, t.BufferedBytes(), t.outstanding, t.frontierBlocks)
+	t.wakeOnArrival()
 }
 
 // resolveSessionEnd closes this session's failover accounting: an
@@ -478,6 +615,7 @@ func (t *Terminal) startMovie(vid int) {
 	// resolveSessionEnd, not migrated).
 	t.needReadmit = false
 	t.sessAborted = false
+	t.mergedFrom = -1
 	t.drawPauses()
 	t.drawSeeks()
 	t.stats.MoviesStarted++
@@ -571,7 +709,7 @@ func (t *Terminal) primed() bool {
 	if t.outstanding > 0 {
 		return false
 	}
-	if t.nextReq < t.nblocks {
+	if t.nextReq < t.nblocks && (t.mergedFrom < 0 || t.nextReq < t.mergedFrom) {
 		free := t.cfg.MemBytes - t.BufferedBytes()
 		if free >= t.place.SizeOfBlock(t.vid, t.nextReq) {
 			return false // the fetcher still has room to fill
@@ -725,6 +863,45 @@ func (t *Terminal) fetcher(p *sim.Proc) {
 			t.movieChange.Wait(p)
 			continue
 		}
+		if t.nextReq < t.frontierBlocks {
+			// Blocks below the frontier already arrived (forwarded off a
+			// merged stream before a detach); skip to the first gap.
+			t.nextReq = t.frontierBlocks
+			continue
+		}
+		if _, buffered := t.ooo[t.nextReq]; buffered {
+			t.nextReq++
+			continue
+		}
+		if t.mergedFrom >= 0 && t.nextReq >= t.mergedFrom {
+			// Riding a merged stream: everything from the join point
+			// arrives forwarded, so the fetcher's only job is pacing
+			// buffer room. It pulls forwards whenever space allows and
+			// sleeps until display frees more — a timed wake, because
+			// once the leader has read to end-of-video its frontier
+			// stops advancing and nothing else would restart the
+			// forwarding pump (core/merge.go).
+			t.syncConsumption()
+			size := t.place.SizeOfBlock(t.vid, t.nextReq)
+			free := t.cfg.MemBytes - t.BufferedBytes() - t.outstanding
+			if free >= size {
+				if !t.cfg.Merger.Pull(t) {
+					// Caught up to the leader's reads: only a new
+					// frontier advance, arrival, or detach changes
+					// anything; park until then.
+					t.fetcherWait = p
+					p.Block()
+				}
+				continue
+			}
+			if !t.playing {
+				t.fetcherWait = p
+				p.Block()
+				continue
+			}
+			t.sleepUntilSpace(p, size-free)
+			continue
+		}
 		size := t.place.SizeOfBlock(t.vid, t.nextReq)
 		if t.degraded && t.nextReq%2 == 1 {
 			// Shed stream: skip every other block. The hole is admitted
@@ -784,6 +961,7 @@ func (t *Terminal) readmitFailover(p *sim.Proc) {
 // buffered tail and returns. resolveSessionEnd then counts it lost.
 func (t *Terminal) abortSession() {
 	t.sessAborted = true
+	t.leaveMerge(true)
 	t.cancelPending()
 	t.nextReq = t.nblocks
 	t.wakeOnArrival()
@@ -967,7 +1145,14 @@ func (t *Terminal) admit(block int, size int64) {
 		delete(t.ooo, t.frontierBlocks)
 		t.oooBytes -= sz
 		t.frontierBytes += sz
+		b := t.frontierBlocks
 		t.frontierBlocks++
+		if t.cfg.Merger != nil {
+			// A leader's frontier advancing paces the merged stream's
+			// forwards; a follower's reports retire in-flight bytes so
+			// more can be forwarded (core/merge.go ignores the rest).
+			t.cfg.Merger.Advance(t, t.vid, b)
+		}
 	}
 }
 

@@ -48,6 +48,10 @@ func (t *Terminal) drawSeeks() {
 // doSeek executes one rewind/fast-forward: optional visual-search skim,
 // then repositioning. The caller (playMovie) re-primes afterwards.
 func (t *Terminal) doSeek(p *sim.Proc) {
+	// A seek ends any merge involvement: a repositioned leader no longer
+	// paces its followers, and a repositioned follower leaves the
+	// forwarded stream behind.
+	t.leaveMerge(true)
 	vc := t.cfg.VCR
 	blockSize := t.place.BlockSize()
 	cur := int(t.video.BytesBeforeFrame(t.consumedFrames) / blockSize)

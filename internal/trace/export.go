@@ -165,6 +165,15 @@ func WriteChromeTrace(w io.Writer, d *Data) error {
 				item(`{"ph":"i","pid":%d,"tid":0,"ts":%s,"name":"drop","s":"p","args":{"bytes":%d}}`,
 					pidNet, usec(ev.T), ev.A)
 			}
+		case KindCacheHit, KindCacheInsert, KindCacheEvict:
+			item(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":%q,"s":"t","args":{"video":%d,"block":%d}}`,
+				pidPool, ev.A, usec(ev.T), ev.Kind.Name(), ev.B, ev.C)
+		case KindMergeJoin:
+			item(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":"merge join","s":"t","args":{"leader":%d,"video":%d,"from":%d}}`,
+				pidTerm, ev.Terminal, usec(ev.T), ev.A, ev.B, ev.C)
+		case KindMergeDetach:
+			item(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":"merge detach","s":"t","args":{"video":%d,"next_block":%d}}`,
+				pidTerm, ev.Terminal, usec(ev.T), ev.A, ev.B)
 		}
 	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {

@@ -105,6 +105,15 @@ const (
 	KindNodeRejoin   // A=node B=downtime_ns — node answered again (or restarted); suspicion cleared
 	KindNodeDrop     // A=node B=reply C=dropped — crashed node silently dropped a message
 
+	// Prefix cache (internal/cache): per-node hit/insert/evict lifecycle.
+	KindCacheHit    // A=node B=video C=block — prefix block served from cache, disk bypassed
+	KindCacheInsert // A=node B=video C=block — block admitted into the node's prefix cache
+	KindCacheEvict  // A=node B=video C=block — block evicted to make room
+
+	// Stream merging (core/merge.go): terminal = the follower.
+	KindMergeJoin   // A=leader B=video C=from — follower merged onto leader's stream at block `from`
+	KindMergeDetach // A=video B=next_block — follower detached mid-stream, resumes self-fetching
+
 	numKinds
 )
 
@@ -174,6 +183,11 @@ var kindInfo = [numKinds]struct {
 	KindSessFailover: {"sess.failover", "node", [4]string{"node", "video", "block", ""}},
 	KindNodeRejoin:   {"node.rejoin", "node", [4]string{"node", "downtime_ns", "", ""}},
 	KindNodeDrop:     {"node.drop", "node", [4]string{"node", "reply", "dropped", ""}},
+	KindCacheHit:     {"cache.hit", "cache", [4]string{"node", "video", "block", ""}},
+	KindCacheInsert:  {"cache.insert", "cache", [4]string{"node", "video", "block", ""}},
+	KindCacheEvict:   {"cache.evict", "cache", [4]string{"node", "video", "block", ""}},
+	KindMergeJoin:    {"merge.join", "merge", [4]string{"leader", "video", "from", ""}},
+	KindMergeDetach:  {"merge.detach", "merge", [4]string{"video", "next_block", "", ""}},
 }
 
 // Name returns the schema name of the kind ("disk.enqueue", …).
@@ -492,6 +506,53 @@ func (r *Recorder) TermSeek(terminal, video, block int) {
 		return
 	}
 	r.emit(KindTermSeek, int32(terminal), int64(video), int64(block), 0, 0)
+}
+
+// CacheHit records a prefix-cache hit: the node served the block from
+// its cache, bypassing the buffer pool and disks.
+func (r *Recorder) CacheHit(node, video, block int) {
+	if r == nil {
+		return
+	}
+	r.emit(KindCacheHit, -1, int64(node), int64(video), int64(block), 0)
+}
+
+// CacheInsert records a block admitted into a node's prefix cache after
+// a disk fetch.
+func (r *Recorder) CacheInsert(node, video, block int) {
+	if r == nil {
+		return
+	}
+	r.emit(KindCacheInsert, -1, int64(node), int64(video), int64(block), 0)
+}
+
+// CacheEvict records a block evicted from a node's prefix cache by the
+// replacement policy.
+func (r *Recorder) CacheEvict(node, video, block int) {
+	if r == nil {
+		return
+	}
+	r.emit(KindCacheEvict, -1, int64(node), int64(video), int64(block), 0)
+}
+
+// MergeJoin records a follower terminal merging onto leader's in-flight
+// stream of video, with the follower's own fetching parked from block
+// `from` onward.
+func (r *Recorder) MergeJoin(follower, leader, video, from int) {
+	if r == nil {
+		return
+	}
+	r.emit(KindMergeJoin, int32(follower), int64(leader), int64(video), int64(from), 0)
+}
+
+// MergeDetach records a follower leaving a merged stream mid-movie
+// (leader departed, seek, or buffer pressure); next is the first block
+// the follower will fetch for itself.
+func (r *Recorder) MergeDetach(follower, video, next int) {
+	if r == nil {
+		return
+	}
+	r.emit(KindMergeDetach, int32(follower), int64(video), int64(next), 0, 0)
 }
 
 func b2i(b bool) int64 {

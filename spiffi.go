@@ -33,6 +33,7 @@ import (
 
 	"spiffi/internal/admission"
 	"spiffi/internal/bufferpool"
+	"spiffi/internal/cache"
 	"spiffi/internal/core"
 	"spiffi/internal/dsched"
 	"spiffi/internal/prefetch"
@@ -90,6 +91,10 @@ type TraceData = trace.Data
 // (worst-case and expected-case) the paper contrasts simulation against.
 type AdmissionAnalysis = admission.Analysis
 
+// CacheConfig enables the per-node prefix cache and stream merging on
+// Config.Cache; the zero value disables both. See CACHING.md.
+type CacheConfig = cache.Config
+
 // Duration and Time re-export the simulation clock types.
 type (
 	Duration = sim.Duration
@@ -133,6 +138,12 @@ const (
 	PrefetchBasic    = prefetch.ModeBasic
 	PrefetchRealTime = prefetch.ModeRealTime
 	PrefetchDelayed  = prefetch.ModeDelayed
+)
+
+// Prefix-cache replacement policies (CACHING.md).
+const (
+	CacheLRU      = cache.PolicyLRU
+	CacheZipfRank = cache.PolicyZipfRank
 )
 
 // DefaultConfig returns the paper's base configuration (§7: 4 processors,
