@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race determinism verify bench bench-workers bench-snapshot trace-guard trace-demo staticcheck govulncheck chaos chaos-soak doc-check
+.PHONY: all build vet test race determinism verify bench bench-workers bench-snapshot trace-guard trace-demo staticcheck govulncheck chaos chaos-soak doc-check fuzz-workload fuzz-seed
 
 all: verify
 
@@ -69,7 +69,17 @@ chaos-soak:
 doc-check:
 	$(GO) run ./cmd/spiffi-doccheck
 
-verify: build vet staticcheck govulncheck test race trace-guard chaos-soak doc-check
+# Workload-schedule fuzzing (WORKLOADS.md). fuzz-seed replays the
+# checked-in corpus plus the f.Add seeds as plain unit tests — cheap and
+# deterministic, so it rides `verify`. fuzz-workload explores new inputs
+# for a bounded burst; run it when touching the spec parser or compiler.
+fuzz-seed:
+	$(GO) test -run FuzzWorkloadSchedule ./internal/workload/
+
+fuzz-workload:
+	$(GO) test -fuzz FuzzWorkloadSchedule -fuzztime 30s ./internal/workload/
+
+verify: build vet staticcheck govulncheck test race trace-guard chaos-soak fuzz-seed doc-check
 
 # Seeded chaos suite under the race detector: fault injection, overload
 # control, admission, retry and rebuild tests (FAULTS.md, OVERLOAD.md).
@@ -94,6 +104,6 @@ bench-workers:
 # Committed perf trajectory (ROADMAP): write the BENCH_<pr>.json
 # snapshot — single-run throughput (untraced + traced) and the fig11
 # worker-scaling speedup. Set BENCH_OUT to name the data point.
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_9.json
 bench-snapshot:
 	$(GO) run ./cmd/spiffi-benchsnap -out $(BENCH_OUT)

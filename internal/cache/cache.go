@@ -53,6 +53,15 @@ type Config struct {
 	// PrefixBlocks is K, the number of leading blocks per video the
 	// cache may hold; Normalize fills 8 when the cache is enabled.
 	PrefixBlocks int
+
+	// DecayEvery halves every video's observed request count after each
+	// DecayEvery lookups (0 = never, the historical behavior). Without
+	// decay PolicyZipfRank ranks by lifetime counts, so a formerly-hot
+	// video outranks the current hits long after its popularity
+	// collapses; with decay the ranking follows a sliding window of
+	// roughly 2*DecayEvery recent requests. Deterministic and
+	// timer-free: the trigger is the lookup counter itself.
+	DecayEvery int64
 }
 
 // Enabled reports whether the caching tier is configured on.
@@ -89,6 +98,9 @@ func (c Config) Validate() error {
 	}
 	if c.PrefixBlocks < 1 {
 		return fmt.Errorf("cache: need PrefixBlocks >= 1, got %d", c.PrefixBlocks)
+	}
+	if c.DecayEvery < 0 {
+		return fmt.Errorf("cache: negative DecayEvery %d", c.DecayEvery)
 	}
 	return nil
 }
@@ -129,6 +141,8 @@ type Cache struct {
 	used         int64
 	prefixBlocks int
 	policy       PolicyKind
+	decayEvery   int64
+	lookups      int64 // lookups since the last popularity decay
 
 	videos []perVideo // indexed by video id
 
@@ -148,6 +162,7 @@ func New(cfg Config, budgetBytes int64, nVideos int) *Cache {
 		budget:       budgetBytes,
 		prefixBlocks: cfg.PrefixBlocks,
 		policy:       cfg.Policy,
+		decayEvery:   cfg.DecayEvery,
 		videos:       make([]perVideo, nVideos),
 	}
 	for v := range c.videos {
@@ -193,6 +208,14 @@ func (c *Cache) Lookup(video, block int) bool {
 		return false
 	}
 	c.videos[video].requests++
+	if c.decayEvery > 0 {
+		if c.lookups++; c.lookups >= c.decayEvery {
+			c.lookups = 0
+			for v := range c.videos {
+				c.videos[v].requests /= 2
+			}
+		}
+	}
 	if !c.Cacheable(block) {
 		return false
 	}

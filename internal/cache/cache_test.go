@@ -218,3 +218,44 @@ func TestEvictionMakesRoomForLargerBlock(t *testing.T) {
 		t.Fatalf("evictions = %d, want 2", got)
 	}
 }
+
+// Popularity churn: with decay off, zipf-rank ranks by lifetime counts,
+// so a video that was a smash hit yesterday keeps outranking today's hit
+// forever; with DecayEvery set, the stale count withers and the
+// formerly-hot video's blocks become evictable.
+func TestZipfRankDecayEvictsFormerlyHot(t *testing.T) {
+	run := func(decay int64) *Cache {
+		cfg := Config{BudgetBytes: 1, Policy: PolicyZipfRank, PrefixBlocks: 8, DecayEvery: decay}
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		c := New(cfg, 3, 2)
+		// Video 0 is a smash hit and caches its prefix...
+		for i := 0; i < 100; i++ {
+			c.Lookup(0, 0)
+		}
+		c.Insert(0, 0, 1)
+		c.Insert(0, 1, 1)
+		// ...then its popularity collapses: all traffic moves to video 1.
+		for i := 0; i < 80; i++ {
+			c.Lookup(1, 0)
+		}
+		c.Insert(1, 0, 1)
+		c.Insert(1, 1, 1) // full: someone must go
+		return c
+	}
+	frozen := run(0)
+	if !frozen.Contains(0, 1) || frozen.Contains(1, 0) {
+		t.Fatal("without decay the lifetime counts must keep the stale hit resident and evict from the current one")
+	}
+	decayed := run(16)
+	if decayed.Contains(0, 1) {
+		t.Fatal("decay left the formerly-hot video's tail resident")
+	}
+	if !decayed.Contains(0, 0) || !decayed.Contains(1, 0) || !decayed.Contains(1, 1) {
+		t.Fatal("decay evicted the wrong block: want the stale video's tail only")
+	}
+	if err := (Config{BudgetBytes: 1, Policy: PolicyZipfRank, PrefixBlocks: 1, DecayEvery: -1}).Validate(); err == nil {
+		t.Fatal("negative DecayEvery validated")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"spiffi/internal/sim"
 	"spiffi/internal/terminal"
 	"spiffi/internal/trace"
+	"spiffi/internal/workload"
 )
 
 // Flags holds the parsed common flags.
@@ -66,16 +67,22 @@ type Flags struct {
 	RetryJitterMS  *float64
 
 	// Overload control & recovery (internal/overload, OVERLOAD.md).
-	AdmitLimit *int
-	Adaptive   *bool
-	Shed       *bool
-	PatienceS  *float64
-	RebuildMBs *float64
+	AdmitLimit    *int
+	Adaptive      *bool
+	Shed          *bool
+	PatienceS     *float64
+	RebuildMBs    *float64
+	HoldAfterCutS *float64
+	RaiseStreak   *int
 
 	// Prefix caching & stream merging (internal/cache, CACHING.md).
 	CacheMB      *int64
 	CachePolicy  *string
 	PrefixBlocks *int
+	CacheDecay   *int64
+
+	// Workload scenarios (internal/workload, WORKLOADS.md).
+	Workload *string
 
 	// Workers is not part of core.Config: it sizes the worker pool for
 	// tools that evaluate many runs (searches, sweeps).
@@ -133,15 +140,20 @@ func Register(fs *flag.FlagSet) *Flags {
 		BackoffCapMS:   fs.Float64("backoffcap", 0, "retry backoff cap in ms (0 = 64x the base backoff)"),
 		RetryJitterMS:  fs.Float64("retryjitter", 0, "uniform jitter bound added to each retry backoff in ms (0 = off)"),
 
-		AdmitLimit: fs.Int("admit", 0, "admission limit on concurrent streams (0 = off)"),
-		Adaptive:   fs.Bool("adaptive", false, "adapt the admission limit from measured disk slack"),
-		Shed:       fs.Bool("shed", false, "shed low-priority streams to half rate under overload"),
-		PatienceS:  fs.Float64("patience", 0, "admission queue patience in seconds (0 = default 10; <0 = wait forever)"),
-		RebuildMBs: fs.Float64("rebuildrate", 0, "mirror rebuild rate in MB/s after disk repair (0 = off)"),
+		AdmitLimit:    fs.Int("admit", 0, "admission limit on concurrent streams (0 = off)"),
+		Adaptive:      fs.Bool("adaptive", false, "adapt the admission limit from measured disk slack"),
+		Shed:          fs.Bool("shed", false, "shed low-priority streams to half rate under overload"),
+		PatienceS:     fs.Float64("patience", 0, "admission queue patience in seconds (0 = default 10; <0 = wait forever)"),
+		RebuildMBs:    fs.Float64("rebuildrate", 0, "mirror rebuild rate in MB/s after disk repair (0 = off)"),
+		HoldAfterCutS: fs.Float64("holdaftercut", 0, "suppress adaptive limit raises for this many seconds after each cut (0 = off)"),
+		RaiseStreak:   fs.Int("raisestreak", 0, "consecutive healthy estimator ticks required before a limit raise (0 = raise immediately)"),
 
 		CacheMB:      fs.Int64("cache", 0, "prefix-cache budget in MB, carved from server memory (0 = off)"),
 		CachePolicy:  fs.String("cachepolicy", "", "cache replacement: lru|zipf-rank (default lru with -cache)"),
 		PrefixBlocks: fs.Int("prefixblocks", 0, "cacheable prefix depth in blocks per video (0 = default 8 with -cache)"),
+		CacheDecay:   fs.Int64("cachedecay", 0, "halve cached popularity counts every N lookups (0 = never; churn-aware zipf-rank)"),
+
+		Workload: fs.String("workload", "", "workload scenario spec, e.g. 'think=10s; steady:60s; premiere:45s load=3 promote=0 share=0.7' (see WORKLOADS.md; empty = off)"),
 
 		Workers: fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); results are identical for any value"),
 
@@ -298,12 +310,23 @@ func (f *Flags) Config() (core.Config, error) {
 	cfg.Overload.Shed = *f.Shed
 	cfg.Overload.Patience = sim.DurationOfSeconds(*f.PatienceS)
 	cfg.Overload.RebuildRate = int64(*f.RebuildMBs * float64(core.MB))
+	cfg.Overload.HoldAfterCut = sim.DurationOfSeconds(*f.HoldAfterCutS)
+	cfg.Overload.RaiseStreak = *f.RaiseStreak
 
 	cfg.Cache.BudgetBytes = *f.CacheMB * core.MB
 	cfg.Cache.Policy = cache.PolicyKind(*f.CachePolicy)
 	cfg.Cache.PrefixBlocks = *f.PrefixBlocks
-	if !cfg.Cache.Enabled() && (*f.CachePolicy != "" || *f.PrefixBlocks != 0) {
-		return cfg, fmt.Errorf("-cachepolicy/-prefixblocks require -cache")
+	cfg.Cache.DecayEvery = *f.CacheDecay
+	if !cfg.Cache.Enabled() && (*f.CachePolicy != "" || *f.PrefixBlocks != 0 || *f.CacheDecay != 0) {
+		return cfg, fmt.Errorf("-cachepolicy/-prefixblocks/-cachedecay require -cache")
+	}
+
+	if *f.Workload != "" {
+		wl, err := workload.ParseSpec(*f.Workload)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Workload = wl
 	}
 	return cfg, nil
 }

@@ -35,6 +35,7 @@ import (
 	"spiffi/internal/sim"
 	"spiffi/internal/terminal"
 	"spiffi/internal/trace"
+	"spiffi/internal/workload"
 )
 
 // KB and MB are byte-size helpers used throughout configurations.
@@ -170,6 +171,16 @@ type Config struct {
 	// subsystem bit for bit.
 	Overload overload.Config
 
+	// Workload configures the scenario generator (internal/workload,
+	// WORKLOADS.md): time-varying phases driving video selection
+	// (Zipf-with-churn, premieres), session arrivals (binge think time
+	// scaled by phase load), and VCR storm intensity, with phase entries
+	// traced as wl.phase events and degradation counters bucketed per
+	// phase in Metrics.PhaseStats. The zero value is strictly inert —
+	// no schedule is compiled, no streams are derived, and every
+	// existing run reproduces bit for bit.
+	Workload workload.Config
+
 	// Trace enables the structured event recorder (internal/trace). The
 	// zero value records nothing and costs only nil-receiver checks on
 	// the hot paths; enabling it never perturbs the simulation — traced
@@ -282,6 +293,7 @@ func (c Config) Normalize() Config {
 	}
 	c.Overload = c.Overload.Normalize(c.StripePlayTime())
 	c.Cache = c.Cache.Normalize()
+	c.Workload = c.Workload.Normalize()
 	return c
 }
 
@@ -331,6 +343,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	if err := c.Workload.Validate(); err != nil {
 		return err
 	}
 	if c.Cache.Enabled() && c.Cache.BudgetBytes/int64(c.Nodes) < c.StripeBytes {

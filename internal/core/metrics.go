@@ -141,6 +141,11 @@ type Metrics struct {
 	MergeDetaches  int64 // mid-stream exits from merged streams
 	DiskReads      int64
 
+	// PhaseStats is the phase-resolved degradation surface, one entry per
+	// phase segment entered, populated only when Config.Workload drives
+	// the run (WORKLOADS.md).
+	PhaseStats []PhaseMetrics `json:",omitempty"`
+
 	Events uint64 // kernel events dispatched (simulator cost)
 
 	// Trace is the structured event snapshot when Config.Trace.Enabled
@@ -149,6 +154,39 @@ type Metrics struct {
 	// that keeps every other metric bit-identical across worker counts.
 	// Excluded from JSON results (experiments marshal a separate view).
 	Trace *trace.Data `json:"-"`
+}
+
+// PhaseMetrics is one segment of the phase-resolved degradation surface
+// produced by a workload scenario. Counters are deltas over [Start, End)
+// and are lifetime-based — they accumulate from simulation start rather
+// than the measurement window, so phases overlapping startup are covered
+// too (the window-relative aggregates remain in the top-level fields).
+type PhaseMetrics struct {
+	Name  string
+	Index int // phase index within the cycle
+	Cycle int // 0-based cycle count (always 0 unless the workload repeats)
+	Start sim.Time
+	End   sim.Time
+	Load  float64 // the phase's arrival-rate multiplier
+
+	Glitches         int64
+	GlitchesUnderrun int64
+	GlitchesDiskFail int64
+	GlitchesTimeout  int64
+	Sheds            int64
+	AdmRejected      int64
+	CacheHits        int64
+	CacheMisses      int64
+	MoviesStarted    int64
+}
+
+// CacheHitRate returns the phase's prefix-cache hit fraction (0 when the
+// phase saw no cache traffic).
+func (p PhaseMetrics) CacheHitRate() float64 {
+	if p.CacheHits+p.CacheMisses == 0 {
+		return 0
+	}
+	return float64(p.CacheHits) / float64(p.CacheHits+p.CacheMisses)
 }
 
 // GlitchFree reports the paper's pass criterion.
@@ -199,6 +237,14 @@ func (m Metrics) String() string {
 			m.CacheHits, m.CacheMisses, m.CacheInserts, m.CacheEvictions,
 			m.Merges, m.MergedBlocks, m.MergeDetaches, m.DiskReads)
 	}
+	if m.WorkloadSeen() {
+		for _, p := range m.PhaseStats {
+			fmt.Fprintf(&b, "phase %d.%d %-10s [%v..%v) load=%.2f: glitches=%d (u/d/t=%d/%d/%d) sheds=%d rejects=%d cache=%d/%d movies=%d\n",
+				p.Cycle, p.Index, p.Name, p.Start, p.End, p.Load,
+				p.Glitches, p.GlitchesUnderrun, p.GlitchesDiskFail, p.GlitchesTimeout,
+				p.Sheds, p.AdmRejected, p.CacheHits, p.CacheMisses, p.MoviesStarted)
+		}
+	}
 	if t := m.Trace; t != nil {
 		fmt.Fprintf(&b, "trace: %d events (%d retained)\n", t.Total, len(t.Events))
 		if t.DiskWait != nil && t.DiskWait.Count() > 0 {
@@ -232,6 +278,9 @@ func (m Metrics) OverloadSeen() bool {
 	return m.AdmLimit > 0 || m.Sheds > 0 || m.DegradedBlocks > 0 ||
 		m.RebuiltBlocks > 0 || m.StaleNacks > 0 || m.RebuildWindows > 0
 }
+
+// WorkloadSeen reports whether a workload scenario drove the run.
+func (m Metrics) WorkloadSeen() bool { return len(m.PhaseStats) > 0 }
 
 // CacheSeen reports whether the prefix-cache tier saw any activity.
 func (m Metrics) CacheSeen() bool {

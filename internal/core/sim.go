@@ -16,6 +16,7 @@ import (
 	"spiffi/internal/stats"
 	"spiffi/internal/terminal"
 	"spiffi/internal/trace"
+	"spiffi/internal/workload"
 )
 
 // Simulation is one assembled run of the SPIFFI system.
@@ -44,6 +45,14 @@ type Simulation struct {
 	// health is the shared node-suspicion tracker; nil unless failover
 	// timeouts are configured (SuspectThreshold > 0).
 	health *terminal.NodeHealth
+
+	// Workload scenario (WORKLOADS.md); wl is nil-safe and disabled
+	// unless cfg.Workload has phases. phaseStats accumulates the
+	// per-phase degradation surface; wlPrev is the counter snapshot at
+	// the open segment's start.
+	wl         *workload.Schedule
+	phaseStats []PhaseMetrics
+	wlPrev     wlCounters
 
 	startedCount int
 	measuring    bool
@@ -213,6 +222,14 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		)
 	}
 
+	if cfg.Workload.Enabled() {
+		// Compiled once from a dedicated derived stream: the churn draws
+		// never touch the base streams, so enabling a workload cannot
+		// perturb placement, disks or terminal randomness elsewhere.
+		s.wl = workload.Compile(cfg.Workload, cfg.NumVideos(), cfg.ZipfZ,
+			root.Derive("workload"))
+	}
+
 	zipf := rng.NewZipf(cfg.NumVideos(), cfg.ZipfZ)
 	instr := func(n int64) sim.Duration {
 		return sim.DurationOfSeconds(float64(n) / (cfg.MIPS * 1e6))
@@ -255,10 +272,21 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	s.terms = make([]*terminal.Terminal, cfg.Terminals)
 	for i := 0; i < cfg.Terminals; i++ {
 		tsrc := root.DeriveIndexed("terminal", i)
+		tc := tcfg
+		selectVideo := func() int { return zipf.Draw(tsrc) }
+		if s.wl.Enabled() {
+			// Workload-driven behavior draws from a dedicated per-terminal
+			// stream, leaving tsrc's consumption pattern (and with it every
+			// workload-free run) untouched.
+			wsrc := root.DeriveIndexed("workload", i)
+			selectVideo = func() int { return s.wl.SelectVideo(s.k.Now(), wsrc) }
+			tc.Think = func() sim.Duration { return s.wl.ThinkTime(s.k.Now(), wsrc) }
+			tc.SeekBoost = func() float64 { return s.wl.SeekBoost(s.k.Now()) }
+		}
 		t := terminal.New(
-			s.k, i, tcfg, s.lib, s.place, tsrc,
+			s.k, i, tc, s.lib, s.place, tsrc,
 			s.sendRequest,
-			func() int { return zipf.Draw(tsrc) },
+			selectVideo,
 			func() bool { return s.measuring },
 			s.onTerminalStarted,
 		)
@@ -273,7 +301,90 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		}
 		s.over.SetStreams(streams, ov.ProtectedCount(cfg.Terminals))
 	}
+	if s.wl.Enabled() {
+		// One kernel event per phase entry over the run's whole horizon:
+		// it closes the previous accounting segment, snapshots the
+		// degradation counters and announces the phase on the trace.
+		horizon := cfg.StartWindow + cfg.StartupGrace + cfg.MeasureTime
+		for _, b := range s.wl.Boundaries(horizon) {
+			b := b
+			s.k.At(b.At, func() { s.enterPhase(b) })
+		}
+	}
 	return s, nil
+}
+
+// wlCounters is a cumulative snapshot of the counters the workload layer
+// buckets per phase. All of them are lifetime (since simulation start),
+// so segment deltas are exact no matter where the measurement window
+// lies relative to the phase timeline.
+type wlCounters struct {
+	glitches, underrun, diskfail, timeout int64
+	sheds, admRejected                    int64
+	cacheHits, cacheMisses                int64
+	movies                                int64
+}
+
+func (s *Simulation) wlCountersNow() wlCounters {
+	var c wlCounters
+	for _, t := range s.terms {
+		st := t.Stats()
+		c.glitches += st.GlitchesTotal
+		c.underrun += st.GlitchesUnderrunTotal
+		c.diskfail += st.GlitchesDiskFailTotal
+		c.timeout += st.GlitchesTimeoutTotal
+		c.movies += st.MoviesStarted
+	}
+	if s.over != nil {
+		c.sheds = s.over.Stats().Sheds
+	}
+	if s.adm != nil {
+		c.admRejected = s.adm.Rejected
+	}
+	for _, ch := range s.caches {
+		cs := ch.Stats()
+		c.cacheHits += cs.Hits
+		c.cacheMisses += cs.Misses
+	}
+	return c
+}
+
+// enterPhase runs (in simulation context) at each phase boundary.
+func (s *Simulation) enterPhase(b workload.Boundary) {
+	now := s.k.Now()
+	s.closePhaseSegment(now)
+	s.phaseStats = append(s.phaseStats, PhaseMetrics{
+		Name:  b.Phase.Name,
+		Index: b.Index,
+		Cycle: b.Cycle,
+		Start: now,
+		Load:  b.Phase.Load,
+	})
+	promote := int64(-1)
+	if b.Phase.Promote {
+		promote = int64(b.Phase.PromoteVideo)
+	}
+	s.rec.WlPhase(b.Index, b.Cycle, int64(b.Phase.Load*1000), promote)
+}
+
+// closePhaseSegment finalizes the open phase segment (if any) with the
+// counter deltas accumulated since it began.
+func (s *Simulation) closePhaseSegment(now sim.Time) {
+	cur := s.wlCountersNow()
+	if n := len(s.phaseStats); n > 0 {
+		ps := &s.phaseStats[n-1]
+		ps.End = now
+		ps.Glitches = cur.glitches - s.wlPrev.glitches
+		ps.GlitchesUnderrun = cur.underrun - s.wlPrev.underrun
+		ps.GlitchesDiskFail = cur.diskfail - s.wlPrev.diskfail
+		ps.GlitchesTimeout = cur.timeout - s.wlPrev.timeout
+		ps.Sheds = cur.sheds - s.wlPrev.sheds
+		ps.AdmRejected = cur.admRejected - s.wlPrev.admRejected
+		ps.CacheHits = cur.cacheHits - s.wlPrev.cacheHits
+		ps.CacheMisses = cur.cacheMisses - s.wlPrev.cacheMisses
+		ps.MoviesStarted = cur.movies - s.wlPrev.movies
+	}
+	s.wlPrev = cur
 }
 
 // sendRequest routes a terminal's block request over the network to the
@@ -359,6 +470,11 @@ func (s *Simulation) Run() (Metrics, error) {
 	m.MeasureStart = s.measureStart
 	m.MeasureEnd = s.k.Now()
 	m.Events = s.k.Events()
+
+	if s.wl.Enabled() {
+		s.closePhaseSegment(s.k.Now())
+		m.PhaseStats = s.phaseStats
+	}
 
 	var seekLatSum, recoverySum, failoverLatSum sim.Duration
 	m.ProtectedTerminals = s.cfg.Overload.ProtectedCount(s.cfg.Terminals)

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"spiffi/internal/sim"
+	"spiffi/internal/trace"
+	"spiffi/internal/workload"
+)
+
+// workloadConfig builds a small system driven by a three-phase scenario:
+// steady viewing, a premiere flash crowd concentrated on video 0 with a
+// VCR storm, then an open-ended recovery with reshuffled popularity.
+func workloadConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := DefaultConfig(6)
+	cfg.Nodes = 2
+	cfg.DisksPerNode = 2
+	cfg.VideosPerDisk = 1
+	cfg.Video.Length = sim.Minute
+	cfg.ServerMemBytes = 32 * MB
+	cfg.StartWindow = 10 * sim.Second
+	cfg.MeasureTime = 90 * sim.Second
+	wl, err := workload.ParseSpec(
+		"think=5s; steady:30s; premiere:30s load=3 promote=0 share=0.8 seekboost=2; recover:* shuffle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workload = wl
+	return cfg
+}
+
+// A workload-free run must surface no phase data at all.
+func TestWorkloadAbsentLeavesNoPhaseStats(t *testing.T) {
+	cfg := workloadConfig(t)
+	cfg.Workload = workload.Config{}
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WorkloadSeen() || m.PhaseStats != nil {
+		t.Fatalf("phase stats without a workload: %+v", m.PhaseStats)
+	}
+}
+
+// A workload-driven run produces one contiguous phase segment per phase
+// entered, bucketed counters that reconcile with the lifetime totals,
+// and one wl.phase trace event per segment.
+func TestWorkloadPhaseStats(t *testing.T) {
+	cfg := workloadConfig(t)
+	cfg.Trace = trace.Options{Enabled: true, Capacity: 1 << 16}
+	s, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Started {
+		t.Fatal("run never started")
+	}
+	if !m.WorkloadSeen() || len(m.PhaseStats) != 3 {
+		t.Fatalf("want 3 phase segments, got %+v", m.PhaseStats)
+	}
+	wantNames := []string{"steady", "premiere", "recover"}
+	var movies, glitches int64
+	for i, ps := range m.PhaseStats {
+		if ps.Name != wantNames[i] || ps.Index != i || ps.Cycle != 0 {
+			t.Fatalf("segment %d = %+v, want name %q index %d", i, ps, wantNames[i], i)
+		}
+		if ps.End <= ps.Start {
+			t.Fatalf("segment %d empty or unclosed: %+v", i, ps)
+		}
+		if i > 0 && ps.Start != m.PhaseStats[i-1].End {
+			t.Fatalf("segments not contiguous at %d: %v != %v", i, ps.Start, m.PhaseStats[i-1].End)
+		}
+		movies += ps.MoviesStarted
+		glitches += ps.Glitches
+	}
+	if m.PhaseStats[0].Start != 0 {
+		t.Fatalf("first segment starts at %v, want 0", m.PhaseStats[0].Start)
+	}
+	if m.PhaseStats[2].End != m.MeasureEnd {
+		t.Fatalf("last segment ends at %v, want run end %v", m.PhaseStats[2].End, m.MeasureEnd)
+	}
+	if movies < int64(cfg.Terminals) {
+		t.Fatalf("phase-bucketed movies started = %d, want at least one per terminal", movies)
+	}
+	// Phase counters are lifetime-based; the window total is a subset.
+	if glitches < m.Glitches {
+		t.Fatalf("phase glitches %d < window glitches %d", glitches, m.Glitches)
+	}
+	var phaseEvents int
+	for _, ev := range m.Trace.Events {
+		if ev.Kind == trace.KindWlPhase {
+			phaseEvents++
+		}
+	}
+	if phaseEvents != len(m.PhaseStats) {
+		t.Fatalf("trace wl.phase events = %d, segments = %d", phaseEvents, len(m.PhaseStats))
+	}
+}
+
+// The same seed must reproduce a workload-driven run exactly, and a
+// different seed must change it (the scenario is seeded, not wall-new).
+func TestWorkloadDeterminism(t *testing.T) {
+	run := func(seed uint64) Metrics {
+		cfg := workloadConfig(t)
+		cfg.Seed = seed
+		m, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(7), run(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c := run(8)
+	if reflect.DeepEqual(a.PhaseStats, c.PhaseStats) && a.BlocksServed == c.BlocksServed {
+		t.Fatal("different seed reproduced the identical run")
+	}
+}

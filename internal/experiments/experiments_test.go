@@ -44,7 +44,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table2", "table3", "piggyback",
 		"ablation-rt", "ablation-prefetch", "ablation-cache",
 		"ablation-sched", "ablation-zoned", "admission", "vcr",
-		"faults", "overload", "failover", "caching",
+		"faults", "overload", "failover", "caching", "storms",
 	}
 	reg := Registry()
 	for _, id := range want {

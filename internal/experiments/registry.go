@@ -72,6 +72,7 @@ func Registry() map[string]Runner {
 		"overload":          single(Overload),
 		"caching":           single(Caching),
 		"failover":          single(Failover),
+		"storms":            single(Storms),
 	}
 }
 

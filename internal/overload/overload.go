@@ -87,6 +87,18 @@ type Config struct {
 	// even when slack still looks healthy (default 16).
 	QueueHigh int
 
+	// HoldAfterCut suppresses limit raises for this long after each
+	// limit cut (0 = none). Under a step-function load increase the
+	// EWMA briefly reads healthy between cuts; without a hold the limit
+	// saws up and down while the backlog drains. Shed-stream restores
+	// are unaffected, as with the rejoin warm-up.
+	HoldAfterCut sim.Duration
+	// RaiseStreak requires this many consecutive recovery-qualified
+	// ticks before the limit is raised (0 or 1 = raise on the first,
+	// the historical behavior). Any pressure or neutral tick resets
+	// the streak.
+	RaiseStreak int
+
 	// RebuildRate paces background mirror reconstruction after a disk
 	// repair, in bytes of re-copied data per second (0 = rebuild off;
 	// repaired disks then rejoin with their contents intact, as in
@@ -152,8 +164,11 @@ func (c Config) Validate() error {
 	if c.Alpha < 0 || c.Alpha > 1 {
 		return fmt.Errorf("overload: Alpha %v outside [0,1]", c.Alpha)
 	}
-	if c.Interval < 0 || c.SlackLow < 0 || c.SlackHigh < 0 {
+	if c.Interval < 0 || c.SlackLow < 0 || c.SlackHigh < 0 || c.HoldAfterCut < 0 {
 		return fmt.Errorf("overload: negative estimator duration")
+	}
+	if c.RaiseStreak < 0 {
+		return fmt.Errorf("overload: RaiseStreak %d negative", c.RaiseStreak)
 	}
 	return nil
 }
@@ -220,6 +235,12 @@ type Controller struct {
 	degraded int // streams currently shed, from the top of the id range
 	running  bool
 	stats    Stats
+
+	// Step-response hysteresis (HoldAfterCut / RaiseStreak): raises are
+	// held until holdUntil after a cut, and healthy counts consecutive
+	// recovery-qualified ticks.
+	holdUntil sim.Time
+	healthy   int
 
 	// Rejoin warm-up: after a crashed node restarts, raising the
 	// admission limit is suppressed until warmupUntil so the rejoining
@@ -331,10 +352,16 @@ func (c *Controller) tick() {
 	if any {
 		switch {
 		case worst < c.cfg.SlackLow || c.qlen > float64(c.cfg.QueueHigh):
+			c.healthy = 0
 			c.pressure(worst)
 		case worst > c.cfg.SlackHigh && c.qlen < float64(c.cfg.QueueHigh)/2:
+			c.healthy++
 			c.relax(worst)
+		default:
+			c.healthy = 0
 		}
+	} else {
+		c.healthy = 0
 	}
 	c.k.After(c.cfg.Interval, c.tick)
 }
@@ -356,6 +383,9 @@ func (c *Controller) pressure(worst sim.Duration) {
 			c.rec.OverLimit(next, cur, worst)
 			if next < c.stats.LimitMin {
 				c.stats.LimitMin = next
+			}
+			if c.cfg.HoldAfterCut > 0 {
+				c.holdUntil = c.k.Now().Add(c.cfg.HoldAfterCut)
 			}
 		}
 	}
@@ -391,6 +421,9 @@ func (c *Controller) relax(worst sim.Duration) {
 	if c.cfg.Adaptive && c.lim != nil {
 		if c.k.Now() < c.warmupUntil {
 			return // rejoin warm-up: hold the limit down
+		}
+		if c.k.Now() < c.holdUntil || c.healthy < c.cfg.RaiseStreak {
+			return // post-cut hold / recovery streak not yet earned
 		}
 		cur := c.lim.Limit()
 		next := cur + max(1, c.cfg.AdmitLimit/16)

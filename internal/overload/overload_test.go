@@ -312,3 +312,133 @@ func TestRebuilderMarksAndClears(t *testing.T) {
 		}
 	}
 }
+
+// recordingLimiter captures the full SetLimit trajectory so step-response
+// tests can assert on the limit's shape, not just its endpoints.
+type recordingLimiter struct {
+	limit      int
+	trajectory []int
+}
+
+func (r *recordingLimiter) SetLimit(n int) { r.limit = n; r.trajectory = append(r.trajectory, n) }
+func (r *recordingLimiter) Limit() int     { return r.limit }
+func (r *recordingLimiter) Active() int    { return r.limit }
+
+// directionChanges counts sign flips in a limit trajectory.
+func directionChanges(start int, traj []int) int {
+	changes, dir, prev := 0, 0, start
+	for _, v := range traj {
+		d := 0
+		if v > prev {
+			d = 1
+		} else if v < prev {
+			d = -1
+		}
+		if d != 0 && dir != 0 && d != dir {
+			changes++
+		}
+		if d != 0 {
+			dir = d
+		}
+		prev = v
+	}
+	return changes
+}
+
+// stepFeed replays the estimator's view of an abrupt 3x load step: deep
+// pressure, then an oscillating drain (the EWMA alternately reads healthy
+// and collapsed while the backlog clears), then steady recovery.
+func stepFeed(k *sim.Kernel, c *Controller) {
+	feed := func(from, until, slack sim.Duration) {
+		for at := from + 100*sim.Millisecond; at < until; at += 200 * sim.Millisecond {
+			k.At(sim.Time(at), func() { c.ObserveDispatch(0, slack, 2) })
+		}
+	}
+	feed(0, 3*sim.Second, 50*sim.Millisecond)
+	for block := 0; block < 3; block++ {
+		base := sim.Duration(3+6*block) * sim.Second
+		feed(base, base+3*sim.Second, 5*sim.Second)                    // briefly drained
+		feed(base+3*sim.Second, base+6*sim.Second, 50*sim.Millisecond) // backlog returns
+	}
+	feed(21*sim.Second, 60*sim.Second, 5*sim.Second)
+}
+
+// Step response: under the oscillating drain of a 3x load step the
+// hysteresis knobs (HoldAfterCut, RaiseStreak) keep the limit monotone —
+// it only falls until the load is truly gone, never below the floor, and
+// then climbs straight back to the configured maximum. The same feed
+// without the knobs saws the limit up and down (the thrash they remove).
+func TestControllerStepResponse(t *testing.T) {
+	run := func(cfg Config) *recordingLimiter {
+		k := sim.NewKernel()
+		defer k.Close()
+		c := NewController(k, cfg, 1)
+		lim := &recordingLimiter{limit: cfg.AdmitLimit}
+		c.SetLimiter(lim)
+		c.Start()
+		stepFeed(k, c)
+		if err := k.Run(sim.Time(61 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return lim
+	}
+
+	base := Config{AdmitLimit: 16, Adaptive: true}.Normalize(sim.Second)
+	hard := base
+	hard.HoldAfterCut = 10 * sim.Second
+	hard.RaiseStreak = 3
+
+	lim := run(hard)
+	if len(lim.trajectory) == 0 {
+		t.Fatal("limit never moved under a 3x step")
+	}
+	floor := 4 // 25% of 16
+	for _, v := range lim.trajectory {
+		if v < floor {
+			t.Fatalf("limit %d fell below the floor %d: %v", v, floor, lim.trajectory)
+		}
+	}
+	if n := directionChanges(16, lim.trajectory); n != 1 {
+		t.Fatalf("hardened trajectory changed direction %d times, want exactly 1 (down, then up): %v",
+			n, lim.trajectory)
+	}
+	if lim.limit != 16 {
+		t.Fatalf("limit converged to %d after recovery, want back at 16: %v", lim.limit, lim.trajectory)
+	}
+
+	soft := run(base)
+	if n := directionChanges(16, soft.trajectory); n < 2 {
+		t.Fatalf("expected the un-hysteresed controller to thrash on this feed (got %d direction changes: %v); the step-response scenario no longer discriminates",
+			n, soft.trajectory)
+	}
+}
+
+// The hysteresis knobs' zero values change nothing: both configs must
+// produce the identical trajectory on the identical feed.
+func TestControllerHysteresisZeroInert(t *testing.T) {
+	run := func(cfg Config) []int {
+		k := sim.NewKernel()
+		defer k.Close()
+		c := NewController(k, cfg, 1)
+		lim := &recordingLimiter{limit: cfg.AdmitLimit}
+		c.SetLimiter(lim)
+		c.Start()
+		stepFeed(k, c)
+		if err := k.Run(sim.Time(61 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return lim.trajectory
+	}
+	base := Config{AdmitLimit: 16, Adaptive: true}.Normalize(sim.Second)
+	streak1 := base
+	streak1.RaiseStreak = 1 // documented as identical to the default
+	a, b := run(base), run(streak1)
+	if len(a) != len(b) {
+		t.Fatalf("RaiseStreak=1 changed the trajectory: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("RaiseStreak=1 changed the trajectory at %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -172,6 +172,9 @@ func (t *Terminal) loseBlock(block int, size int64, cause glitchCause) {
 	traceCause := trace.CauseTimeout
 	if cause == causeDiskFail {
 		traceCause = trace.CauseDiskFail
+		t.stats.GlitchesDiskFailTotal++
+	} else {
+		t.stats.GlitchesTimeoutTotal++
 	}
 	t.rec.TermGlitch(t.id, traceCause, t.vid, block, t.BufferedBytes())
 	if t.measuring() {

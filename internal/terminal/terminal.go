@@ -107,6 +107,18 @@ type Config struct {
 	// trip (the assembly feeds a shared latency histogram).
 	OnRespTime func(sim.Duration)
 
+	// Think, when non-nil, is drawn after each completed movie and idles
+	// the terminal that long before it selects the next one — binge
+	// sessions with inter-video think time, scaled by the workload
+	// layer's phase load. Zero means start at once; nil (the default)
+	// keeps the historical back-to-back behavior exactly.
+	Think func() sim.Duration
+
+	// SeekBoost, when non-nil, multiplies VCRConfig.MeanSeeksPerMovie
+	// at each movie start — the workload layer's VCR-interaction storm
+	// phases. nil (the default) leaves the configured mean untouched.
+	SeekBoost func() float64
+
 	// RandomInitialPosition starts each terminal's FIRST movie at a
 	// uniformly random position, so the simulated snapshot begins in the
 	// steady state the paper measures (terminals spread across movie
@@ -180,7 +192,14 @@ type Stats struct {
 	GlitchesUnderrun int64
 	GlitchesDiskFail int64
 	GlitchesTimeout  int64
-	Nacks            int64 // NACK replies received
+	// The *Total variants are lifetime (never window-reset) per-cause
+	// counters partitioning GlitchesTotal; the workload layer's
+	// phase-bucketed metrics difference them at phase boundaries, which
+	// straddle the measurement window.
+	GlitchesUnderrunTotal int64
+	GlitchesDiskFailTotal int64
+	GlitchesTimeoutTotal  int64
+	Nacks                 int64 // NACK replies received
 	Retries          int64 // re-issued requests
 	Timeouts         int64 // request timeouts fired
 	LostBlocks       int64 // blocks abandoned after the final retry
@@ -403,6 +422,14 @@ func (t *Terminal) player(p *sim.Proc) {
 	// it at each movie change.
 	t.k.Spawn(fmt.Sprintf("term-%d-fetcher", t.id), t.fetcher)
 	for {
+		if t.cfg.Think != nil && t.stats.MoviesStarted > 0 {
+			// Inter-movie think time: the viewer finished a session and
+			// idles before bingeing the next one. The first movie keeps
+			// its staggered Start delay instead.
+			if d := t.cfg.Think(); d > 0 {
+				p.Sleep(d)
+			}
+		}
 		vid := t.selectVideo()
 		if t.cfg.Gate != nil {
 			if leader := t.cfg.Gate.JoinOrLead(p, t.id, vid); !leader {
@@ -688,6 +715,7 @@ func (t *Terminal) playMovie(p *sim.Proc) {
 			// fully before restarting so a second glitch does not
 			// follow at once.
 			t.stats.GlitchesTotal++
+			t.stats.GlitchesUnderrunTotal++
 			t.glitchAt = t.k.Now()
 			t.rec.TermGlitch(t.id, trace.CauseUnderrun, t.vid, t.consumedFrames, t.BufferedBytes())
 			if t.measuring() {
@@ -825,6 +853,9 @@ func (t *Terminal) drawPauses() {
 	pc := t.cfg.Pause
 	if pc == nil || pc.MeanPauses <= 0 {
 		return
+	}
+	if t.video.NumFrames() <= 0 {
+		return // degenerate empty video: nowhere to pause
 	}
 	n := t.poisson(pc.MeanPauses)
 	if n == 0 {

@@ -34,7 +34,16 @@ func (t *Terminal) drawSeeks() {
 	if vc == nil || vc.MeanSeeksPerMovie <= 0 {
 		return
 	}
-	n := t.poisson(vc.MeanSeeksPerMovie)
+	if t.video.NumFrames() <= 0 {
+		return // degenerate empty video: nowhere to seek
+	}
+	mean := vc.MeanSeeksPerMovie
+	if t.cfg.SeekBoost != nil {
+		// VCR-interaction storm: the workload layer scales this movie's
+		// seek intensity by the current phase's boost factor.
+		mean *= t.cfg.SeekBoost()
+	}
+	n := t.poisson(mean)
 	for i := 0; i < n; i++ {
 		t.seekFrames = append(t.seekFrames, t.src.Intn(t.video.NumFrames()))
 	}
@@ -64,12 +73,17 @@ func (t *Terminal) doSeek(p *sim.Proc) {
 	if t.src.Float64() >= vc.ForwardProb {
 		dir = -1
 	}
+	// Clamp high before low: with a one-block video nblocks-2 is -1, and
+	// the old low-then-high order let the high clamp reintroduce a
+	// negative target (repositionTo(-1) corrupted the frontier). For
+	// nblocks >= 2 at most one clamp can fire, so the order is
+	// behavior-identical there.
 	target := cur + dir*distBlocks
-	if target < 0 {
-		target = 0
-	}
 	if target > t.nblocks-2 {
 		target = t.nblocks - 2
+	}
+	if target < 0 {
+		target = 0
 	}
 
 	t.stats.Seeks++

@@ -72,6 +72,7 @@ const (
 	pidNet  = 3
 	pidAdm  = 4
 	pidTerm = 5
+	pidWl   = 6
 )
 
 // WriteChromeTrace writes the snapshot in Chrome trace-event format
@@ -104,7 +105,7 @@ func WriteChromeTrace(w io.Writer, d *Data) error {
 	for _, m := range []struct {
 		pid  int
 		name string
-	}{{pidDisk, "disks"}, {pidPool, "buffer pools"}, {pidNet, "network"}, {pidAdm, "admission"}, {pidTerm, "terminals"}} {
+	}{{pidDisk, "disks"}, {pidPool, "buffer pools"}, {pidNet, "network"}, {pidAdm, "admission"}, {pidTerm, "terminals"}, {pidWl, "workload"}} {
 		item(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%q}}`, m.pid, m.name)
 	}
 	for _, ev := range d.Events {
@@ -174,6 +175,11 @@ func WriteChromeTrace(w io.Writer, d *Data) error {
 		case KindMergeDetach:
 			item(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":"merge detach","s":"t","args":{"video":%d,"next_block":%d}}`,
 				pidTerm, ev.Terminal, usec(ev.T), ev.A, ev.B)
+		case KindWlPhase:
+			item(`{"ph":"i","pid":%d,"tid":0,"ts":%s,"name":"wl phase","s":"g","args":{"phase":%d,"cycle":%d,"load_milli":%d,"promote":%d}}`,
+				pidWl, usec(ev.T), ev.A, ev.B, ev.C, ev.D)
+			item(`{"ph":"C","pid":%d,"tid":1,"ts":%s,"name":"load_milli","args":{"value":%d}}`,
+				pidWl, usec(ev.T), ev.C)
 		}
 	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {
@@ -219,6 +225,13 @@ func WriteSummary(w io.Writer, d *Data) error {
 	}
 	if d.NetDelay != nil && d.NetDelay.Count() > 0 {
 		fmt.Fprintf(bw, "net delay (s):    %s\n", d.NetDelay)
+	}
+	for _, ev := range d.Events {
+		if ev.Kind != KindWlPhase {
+			continue
+		}
+		fmt.Fprintf(bw, "phase: t=%v idx=%d cycle=%d load=%.2f promote=%d\n",
+			ev.T, ev.A, ev.B, float64(ev.C)/1000, ev.D)
 	}
 	for _, g := range d.Glitches() {
 		fmt.Fprintf(bw, "glitch: t=%v terminal=%d cause=%s video=%d frame=%d buffered=%dB\n",

@@ -114,6 +114,11 @@ const (
 	KindMergeJoin   // A=leader B=video C=from — follower merged onto leader's stream at block `from`
 	KindMergeDetach // A=video B=next_block — follower detached mid-stream, resumes self-fetching
 
+	// Workload scenario generator (internal/workload): one event per
+	// phase entry, so post-mortems attribute glitches to the traffic
+	// phase that caused them.
+	KindWlPhase // A=phase B=cycle C=load_milli D=promote (-1 = none)
+
 	numKinds
 )
 
@@ -188,6 +193,7 @@ var kindInfo = [numKinds]struct {
 	KindCacheEvict:   {"cache.evict", "cache", [4]string{"node", "video", "block", ""}},
 	KindMergeJoin:    {"merge.join", "merge", [4]string{"leader", "video", "from", ""}},
 	KindMergeDetach:  {"merge.detach", "merge", [4]string{"video", "next_block", "", ""}},
+	KindWlPhase:      {"wl.phase", "wl", [4]string{"phase", "cycle", "load_milli", "promote"}},
 }
 
 // Name returns the schema name of the kind ("disk.enqueue", …).
@@ -553,6 +559,16 @@ func (r *Recorder) MergeDetach(follower, video, next int) {
 		return
 	}
 	r.emit(KindMergeDetach, int32(follower), int64(video), int64(next), 0, 0)
+}
+
+// WlPhase records the workload scenario entering a phase: its index
+// within the cycle, the 0-based cycle count, the phase's arrival-rate
+// multiplier in thousandths, and the promoted video id (-1 = none).
+func (r *Recorder) WlPhase(phase, cycle int, loadMilli, promote int64) {
+	if r == nil {
+		return
+	}
+	r.emit(KindWlPhase, -1, int64(phase), int64(cycle), loadMilli, promote)
 }
 
 func b2i(b bool) int64 {

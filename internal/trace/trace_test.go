@@ -266,8 +266,8 @@ func TestWriteChromeTraceParses(t *testing.T) {
 	if phases["i"] < 2 { // pool hit, glitch, net drop
 		t.Errorf("want >=2 instant events, got %d", phases["i"])
 	}
-	if phases["M"] != 5 {
-		t.Errorf("want 5 process_name metadata events, got %d", phases["M"])
+	if phases["M"] != 6 {
+		t.Errorf("want 6 process_name metadata events, got %d", phases["M"])
 	}
 }
 

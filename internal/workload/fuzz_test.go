@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"testing"
+
+	"spiffi/internal/rng"
+	"spiffi/internal/sim"
+)
+
+// FuzzWorkloadSchedule fuzzes the spec parser and compiled-schedule
+// invariants: every instant of the horizon maps to exactly one valid
+// phase, boundaries are ordered and in-range, normalized rates are
+// strictly positive, selections stay inside the library, and the same
+// seed always compiles to an identical schedule. `make fuzz-seed`
+// replays the checked-in corpus under testdata/fuzz plus the seeds
+// below;
+// `go test -fuzz FuzzWorkloadSchedule ./internal/workload` explores.
+func FuzzWorkloadSchedule(f *testing.F) {
+	f.Add("steady:1m", uint64(1))
+	f.Add("think=10s; day:2m; peak:1m load=3 z=1.2 promote=4 share=0.5 seekboost=2; night:*", uint64(42))
+	f.Add("repeat; a:30s shuffle; b:45s load=0.25 promote=0 share=1", uint64(7))
+	f.Add("think=1s; a:1s z=0; b:*", uint64(0))
+	f.Add("x:1h load=100 seekboost=0.5; y:* shuffle z=1.5", uint64(1<<40))
+
+	const nVideos, horizon = 24, 10 * sim.Minute
+	f.Fuzz(func(t *testing.T, spec string, seed uint64) {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			t.Skip()
+		}
+		// ParseSpec already normalizes + validates; anything it accepts
+		// must satisfy the schedule invariants below.
+		a := Compile(cfg, nVideos, 1.0, rng.New(seed))
+		b := Compile(cfg, nVideos, 1.0, rng.New(seed))
+
+		// Rates strictly positive after normalization.
+		for i, p := range cfg.Phases {
+			if p.Load <= 0 || p.SeekBoost <= 0 {
+				t.Fatalf("phase %d non-positive rate: %+v", i, p)
+			}
+		}
+
+		// Boundaries ordered, in-range, starting at t=0.
+		bounds := a.Boundaries(horizon)
+		if len(bounds) == 0 || bounds[0].At != 0 {
+			t.Fatalf("horizon not covered from t=0: %+v", bounds)
+		}
+		for i, bd := range bounds {
+			if bd.At < 0 || sim.Duration(bd.At) >= horizon {
+				t.Fatalf("boundary %d out of range: %+v", i, bd)
+			}
+			if i > 0 && bd.At <= bounds[i-1].At {
+				t.Fatalf("boundaries out of order: %+v", bounds)
+			}
+			if bd.Index < 0 || bd.Index >= a.NumPhases() {
+				t.Fatalf("boundary %d bad index: %+v", i, bd)
+			}
+		}
+
+		// Every instant maps to a valid phase; same seed, same schedule.
+		drawA, drawB := rng.New(seed^0x5DEECE66D), rng.New(seed^0x5DEECE66D)
+		for step := sim.Duration(0); step < horizon; step += 7 * sim.Second {
+			at := sim.Time(step)
+			idx := a.PhaseIndexAt(at)
+			if idx < 0 || idx >= a.NumPhases() {
+				t.Fatalf("PhaseIndexAt(%v) = %d", at, idx)
+			}
+			if idx != b.PhaseIndexAt(at) {
+				t.Fatalf("phase index diverged at %v", at)
+			}
+			va, vb := a.SelectVideo(at, drawA), b.SelectVideo(at, drawB)
+			if va != vb {
+				t.Fatalf("same-seed selection diverged at %v: %d vs %d", at, va, vb)
+			}
+			if va < 0 || va >= nVideos {
+				t.Fatalf("selection %d outside library", va)
+			}
+			ta, tb := a.ThinkTime(at, drawA), b.ThinkTime(at, drawB)
+			if ta != tb || ta < 0 {
+				t.Fatalf("think diverged or negative at %v: %v vs %v", at, ta, tb)
+			}
+			if a.SeekBoost(at) <= 0 || a.LoadAt(at) <= 0 {
+				t.Fatalf("non-positive rate at %v", at)
+			}
+		}
+	})
+}

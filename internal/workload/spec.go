@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"spiffi/internal/sim"
+)
+
+// ParseSpec parses the compact text form of a workload scenario, used
+// by the -workload CLI flag and the fuzz corpus. The grammar
+// (documented in WORKLOADS.md):
+//
+//	spec    := clause (';' clause)*
+//	clause  := global | phase
+//	global  := 'think=' DUR | 'repeat'
+//	phase   := NAME ':' DUR { ' ' option }
+//	option  := 'load=' FLOAT | 'z=' FLOAT | 'shuffle'
+//	         | 'promote=' INT | 'share=' FLOAT | 'seekboost=' FLOAT
+//
+// DUR is a Go duration ("90s", "2m"); '*' as the last phase's duration
+// means open-ended. A phase with no 'z=' inherits the run's base skew.
+// Example:
+//
+//	think=10s; steady:60s; premiere:45s load=3 promote=0 share=0.7 seekboost=2; recover:* shuffle
+//
+// The result is normalized and validated.
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		switch {
+		case clause == "repeat":
+			c.Repeat = true
+			continue
+		case strings.HasPrefix(clause, "think="):
+			d, err := time.ParseDuration(strings.TrimPrefix(clause, "think="))
+			if err != nil {
+				return Config{}, fmt.Errorf("workload spec: think: %w", err)
+			}
+			c.BaseThink = sim.Duration(d)
+			continue
+		}
+		p, err := parsePhase(clause)
+		if err != nil {
+			return Config{}, err
+		}
+		c.Phases = append(c.Phases, p)
+	}
+	if !c.Enabled() {
+		return Config{}, fmt.Errorf("workload spec %q: no phases", spec)
+	}
+	c = c.Normalize()
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+func parsePhase(clause string) (Phase, error) {
+	fields := strings.Fields(clause)
+	head := fields[0]
+	name, dur, ok := strings.Cut(head, ":")
+	if !ok || name == "" {
+		return Phase{}, fmt.Errorf("workload spec: phase %q: want NAME:DUR", head)
+	}
+	p := Phase{Name: name, ZipfZ: -1} // inherit base skew unless z= given
+	if dur != "*" {
+		d, err := time.ParseDuration(dur)
+		if err != nil {
+			return Phase{}, fmt.Errorf("workload spec: phase %q: %w", name, err)
+		}
+		p.Duration = sim.Duration(d)
+	}
+	for _, opt := range fields[1:] {
+		key, val, _ := strings.Cut(opt, "=")
+		var err error
+		switch key {
+		case "shuffle":
+			p.Shuffle = true
+		case "load":
+			p.Load, err = strconv.ParseFloat(val, 64)
+			if err == nil && p.Load <= 0 {
+				err = fmt.Errorf("non-positive load %v", p.Load)
+			}
+		case "z":
+			p.ZipfZ, err = strconv.ParseFloat(val, 64)
+			if err == nil && p.ZipfZ < 0 {
+				err = fmt.Errorf("negative skew %v", p.ZipfZ)
+			}
+		case "promote":
+			p.PromoteVideo, err = strconv.Atoi(val)
+			p.Promote = true
+		case "share":
+			p.PromoteShare, err = strconv.ParseFloat(val, 64)
+		case "seekboost":
+			p.SeekBoost, err = strconv.ParseFloat(val, 64)
+			if err == nil && p.SeekBoost <= 0 {
+				err = fmt.Errorf("non-positive seekboost %v", p.SeekBoost)
+			}
+		default:
+			err = fmt.Errorf("unknown option")
+		}
+		if err != nil {
+			return Phase{}, fmt.Errorf("workload spec: phase %q: option %q: %v", name, opt, err)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,152 @@
+// Package workload is a composable, seeded, fully deterministic
+// scenario generator for production traffic shapes. A workload is a
+// sequence of Phases, each holding a target popularity skew, a load
+// multiplier, and optional churn events (rank reshuffles, "new release
+// goes viral" promotions, VCR-interaction storms). The phase sequence
+// drives three terminal-side decisions:
+//
+//   - which video a terminal selects next (phase-local Zipf over a
+//     phase-local rank→video permutation, plus an optional premiere
+//     concentration on one promoted video),
+//   - how long a terminal idles between movie sessions (binge think
+//     time, scaled down by the phase load multiplier so high-load
+//     phases arrive faster), and
+//   - how aggressively VCR interactions fire (a multiplier on the
+//     configured mean seeks per movie).
+//
+// Determinism contract: Compile precomputes every permutation and
+// distribution table from a derived rng stream at build time, so equal
+// (Config, nVideos, baseZ, seed) always yield an identical Schedule;
+// all runtime draws come from caller-provided per-terminal streams.
+// The zero-value Config is strictly inert — Enabled() is false, no
+// streams are derived, and every existing run reproduces bit-for-bit.
+package workload
+
+import (
+	"fmt"
+
+	"spiffi/internal/sim"
+)
+
+// Phase is one segment of the traffic timeline. The zero value of every
+// optional field means "no change from baseline": Load 0 normalizes to
+// 1, ZipfZ < 0 inherits the run's base skew, SeekBoost 0 normalizes to
+// 1, and Promote false leaves the popularity ranking alone.
+type Phase struct {
+	// Name labels the phase in traces, metrics, and experiment notes.
+	Name string
+
+	// Duration is how long the phase lasts. Every phase except the last
+	// must be positive; a zero-duration final phase extends to the end
+	// of the run (and Normalize leaves it open-ended).
+	Duration sim.Duration
+
+	// Load multiplies the session arrival rate by dividing the mean
+	// inter-movie think time: think = BaseThink / Load. 1 is baseline;
+	// 3 is a flash crowd; 0.3 is an overnight lull. It has no effect
+	// when BaseThink is zero (terminals then binge back-to-back).
+	Load float64
+
+	// ZipfZ is the popularity skew during this phase. Negative means
+	// "inherit the run's base skew"; 0 is a legitimate uniform draw.
+	ZipfZ float64
+
+	// Shuffle reshuffles the rank→video permutation at phase entry —
+	// popularity churn, where yesterday's hits fall out of the chart.
+	// Shuffles compose: each shuffling phase permutes the ranking left
+	// by the previous phase.
+	Shuffle bool
+
+	// Promote moves PromoteVideo to rank 0 at phase entry (everything
+	// above its old rank shifts down one) — a new release going viral.
+	Promote      bool
+	PromoteVideo int
+
+	// PromoteShare is the probability that a selection during this
+	// phase picks the promoted video outright, bypassing the Zipf draw
+	// — the premiere flash-crowd concentration. Requires Promote.
+	PromoteShare float64
+
+	// SeekBoost multiplies the VCR mean-seeks-per-movie during this
+	// phase — a VCR-interaction storm. 0 normalizes to 1 (no change).
+	SeekBoost float64
+}
+
+// Config describes a workload scenario. The zero value is inert.
+type Config struct {
+	// Phases is the traffic timeline, played in order from simulation
+	// time zero. Empty disables the workload generator entirely.
+	Phases []Phase
+
+	// BaseThink is the mean inter-movie think time (exponentially
+	// distributed) at Load 1. Zero means terminals start their next
+	// movie immediately, as they always have; phase Load multipliers
+	// then have no arrival-rate effect.
+	BaseThink sim.Duration
+
+	// Repeat cycles the phase sequence forever (diurnal shapes). When
+	// false the last phase persists to the end of the run. A repeated
+	// cycle replays the same compiled permutations each pass, so churn
+	// is periodic, not cumulative.
+	Repeat bool
+}
+
+// Enabled reports whether the workload generator is active.
+func (c Config) Enabled() bool { return len(c.Phases) > 0 }
+
+// Normalize fills defaulted fields. Inert configs pass through
+// untouched.
+func (c Config) Normalize() Config {
+	if !c.Enabled() {
+		return c
+	}
+	phases := make([]Phase, len(c.Phases))
+	copy(phases, c.Phases)
+	for i := range phases {
+		if phases[i].Load == 0 {
+			phases[i].Load = 1
+		}
+		if phases[i].SeekBoost == 0 {
+			phases[i].SeekBoost = 1
+		}
+		if phases[i].Name == "" {
+			phases[i].Name = fmt.Sprintf("phase%d", i)
+		}
+	}
+	c.Phases = phases
+	return c
+}
+
+// Validate checks a normalized config.
+func (c Config) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	if c.BaseThink < 0 {
+		return fmt.Errorf("workload: BaseThink %v negative", c.BaseThink)
+	}
+	for i, p := range c.Phases {
+		if p.Duration < 0 {
+			return fmt.Errorf("workload: phase %d (%s) negative duration %v", i, p.Name, p.Duration)
+		}
+		if p.Duration == 0 && (i != len(c.Phases)-1 || c.Repeat) {
+			return fmt.Errorf("workload: phase %d (%s) zero duration (only the last phase of a non-repeating workload may be open-ended)", i, p.Name)
+		}
+		if p.Load <= 0 {
+			return fmt.Errorf("workload: phase %d (%s) load %v must be positive", i, p.Name, p.Load)
+		}
+		if p.SeekBoost <= 0 {
+			return fmt.Errorf("workload: phase %d (%s) seek boost %v must be positive", i, p.Name, p.SeekBoost)
+		}
+		if p.PromoteShare < 0 || p.PromoteShare > 1 {
+			return fmt.Errorf("workload: phase %d (%s) promote share %v outside [0,1]", i, p.Name, p.PromoteShare)
+		}
+		if p.PromoteShare > 0 && !p.Promote {
+			return fmt.Errorf("workload: phase %d (%s) promote share without a promoted video", i, p.Name)
+		}
+		if p.Promote && p.PromoteVideo < 0 {
+			return fmt.Errorf("workload: phase %d (%s) negative promoted video %d", i, p.Name, p.PromoteVideo)
+		}
+	}
+	return nil
+}

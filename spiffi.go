@@ -41,6 +41,7 @@ import (
 	"spiffi/internal/stats"
 	"spiffi/internal/terminal"
 	"spiffi/internal/trace"
+	"spiffi/internal/workload"
 )
 
 // Config is a complete simulation configuration; zero values are invalid,
@@ -94,6 +95,15 @@ type AdmissionAnalysis = admission.Analysis
 // CacheConfig enables the per-node prefix cache and stream merging on
 // Config.Cache; the zero value disables both. See CACHING.md.
 type CacheConfig = cache.Config
+
+// WorkloadConfig drives time-varying traffic scenarios (flash crowds,
+// popularity churn, diurnal cycles) on Config.Workload; the zero value
+// is inert and reproduces historical behavior bit-for-bit. See
+// WORKLOADS.md.
+type WorkloadConfig = workload.Config
+
+// WorkloadPhase is one phase of a workload scenario.
+type WorkloadPhase = workload.Phase
 
 // Duration and Time re-export the simulation clock types.
 type (
@@ -194,6 +204,14 @@ func RealTimeSched(classes int, spacing Duration) SchedConfig {
 // GSSSched is a convenience constructor for group sweeping.
 func GSSSched(groups int) SchedConfig {
 	return SchedConfig{Kind: dsched.KindGSS, Groups: groups}
+}
+
+// ParseWorkloadSpec parses the compact workload scenario grammar
+// documented in WORKLOADS.md (e.g. "think=10s; steady:60s;
+// premiere:45s load=3 promote=0 share=0.7; recover:* shuffle") into a
+// WorkloadConfig, normalized and validated.
+func ParseWorkloadSpec(spec string) (WorkloadConfig, error) {
+	return workload.ParseSpec(spec)
 }
 
 // ExportTrace renders a trace snapshot in the named format: "jsonl"
